@@ -1,0 +1,44 @@
+//! CPU baseline helpers.
+//!
+//! The measured CPU baseline itself lives in [`fanns_ivf::baseline_cpu`]
+//! (it is part of the algorithm substrate). This module adds the adapter the
+//! scale-out and latency experiments need: turning a measured per-query
+//! latency report into a [`LatencyDistribution`] that can be fed to the
+//! cluster simulator alongside the FPGA and GPU distributions.
+
+use fanns_dataset::types::QuerySet;
+use fanns_ivf::baseline_cpu::CpuSearcher;
+use fanns_ivf::index::IvfPqIndex;
+use fanns_ivf::params::IvfPqParams;
+use fanns_scaleout::latency::LatencyDistribution;
+
+/// Measures the single-node, online-mode CPU latency distribution for an
+/// index/parameter combination (Figure 11's CPU curve).
+pub fn cpu_latency_distribution(
+    index: &IvfPqIndex,
+    params: IvfPqParams,
+    queries: &QuerySet,
+) -> LatencyDistribution {
+    let searcher = CpuSearcher::new(index, params);
+    let (_, report) = searcher.measure_latency(queries);
+    LatencyDistribution::new(report.latencies_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::synth::SyntheticSpec;
+    use fanns_ivf::index::IvfPqTrainConfig;
+
+    #[test]
+    fn cpu_latency_distribution_has_one_sample_per_query() {
+        let (db, queries) = SyntheticSpec::sift_small(91).generate();
+        let index = IvfPqIndex::build(
+            &db,
+            &IvfPqTrainConfig::new(16).with_m(16).with_ksub(32).with_train_sample(1_000),
+        );
+        let dist = cpu_latency_distribution(&index, IvfPqParams::new(16, 4, 10).with_m(16), &queries);
+        assert_eq!(dist.len(), queries.len());
+        assert!(dist.median() > 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The parameter-independent ("fixed") FPGA baseline.
+//!
+//! §7.2.3's baseline accelerators are built from the same hardware building
+//! blocks as the FANNS designs but without parameter awareness. This module
+//! wires the design returned by [`fanns_dse::baseline_designs`] to the
+//! simulator so the baseline can be "measured" the same way as a generated
+//! accelerator — the comparison behind the 1.3–23× speedups of Figure 10.
+
+use fanns_dataset::types::QuerySet;
+use fanns_dse::baseline_designs::baseline_design_for_k;
+use fanns_hwsim::accelerator::{Accelerator, AcceleratorError, SimulationReport};
+use fanns_ivf::index::IvfPqIndex;
+use fanns_ivf::params::IvfPqParams;
+
+/// Simulates the fixed FPGA baseline for `k` on the given index/queries.
+pub fn measure_fixed_fpga(
+    index: &IvfPqIndex,
+    params: IvfPqParams,
+    queries: &QuerySet,
+    freq_mhz: f64,
+) -> Result<SimulationReport, AcceleratorError> {
+    let mut design = baseline_design_for_k(params.k, freq_mhz);
+    // The baseline always instantiates an OPQ PE so it can serve OPQ indexes;
+    // when the index has none the PE idles (see §7.2.3's design rationale).
+    if !index.has_opq() {
+        design.sizing.opq_pes = 1;
+    }
+    let accelerator = Accelerator::new(index, design, params)?;
+    Ok(accelerator.simulate_batch(queries, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::synth::SyntheticSpec;
+    use fanns_ivf::index::IvfPqTrainConfig;
+
+    #[test]
+    fn fixed_fpga_baseline_produces_a_report() {
+        let (db, queries) = SyntheticSpec::sift_small(92).generate();
+        let index = IvfPqIndex::build(
+            &db,
+            &IvfPqTrainConfig::new(16).with_m(16).with_ksub(32).with_train_sample(1_000),
+        );
+        let report = measure_fixed_fpga(
+            &index,
+            IvfPqParams::new(16, 4, 10).with_m(16),
+            &queries,
+            140.0,
+        )
+        .unwrap();
+        assert_eq!(report.queries, queries.len());
+        assert!(report.qps > 0.0);
+    }
+
+    #[test]
+    fn baseline_handles_all_three_k_values() {
+        let (db, queries) = SyntheticSpec::sift_small(93).generate();
+        let index = IvfPqIndex::build(
+            &db,
+            &IvfPqTrainConfig::new(16).with_m(16).with_ksub(32).with_train_sample(1_000),
+        );
+        for k in [1, 10, 100] {
+            let report = measure_fixed_fpga(
+                &index,
+                IvfPqParams::new(16, 4, k).with_m(16),
+                &queries,
+                140.0,
+            )
+            .unwrap();
+            assert!(report.qps > 0.0, "K={k} baseline failed");
+        }
+    }
+}

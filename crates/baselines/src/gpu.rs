@@ -1,0 +1,227 @@
+//! Analytic V100-class GPU model.
+//!
+//! The paper runs Faiss-GPU on NVIDIA V100s (5 120 CUDA cores, 32 GB HBM2,
+//! ~14 TFLOP/s FP32, ~900 GB/s). No GPU is available in this environment, so
+//! this module models the two behaviours the paper's conclusions rest on:
+//!
+//! 1. **Batch throughput**: the GPU's raw FLOP/s and bandwidth are roughly
+//!    two orders of magnitude above the FPGA's, so with large batches it
+//!    reaches 5–22× the FPGA's QPS (Figure 10). We model each search stage as
+//!    the max of its compute-roofline and bandwidth-roofline time, with an
+//!    efficiency factor, and add per-kernel launch overhead.
+//! 2. **Online latency**: individual queries pay kernel-launch overhead and
+//!    suffer batching/scheduling jitter, producing a heavy upper tail
+//!    (Figure 11) — the reason GPUs scale poorly to many accelerators.
+//!
+//! All constants are documented and the distribution sampling is seeded, so
+//! the "GPU measurements" are reproducible.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use fanns_perfmodel::qps::WorkloadModel;
+use fanns_scaleout::latency::LatencyDistribution;
+
+/// Hardware characteristics of the modelled GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Peak FP32 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Achievable fraction of peak FLOP/s on these kernels.
+    pub compute_efficiency: f64,
+    /// Peak memory bandwidth in bytes/s.
+    pub peak_bandwidth: f64,
+    /// Achievable fraction of peak bandwidth.
+    pub bandwidth_efficiency: f64,
+    /// Fixed overhead per kernel launch (seconds).
+    pub kernel_launch_s: f64,
+    /// Number of kernels launched per query batch (one per search stage plus
+    /// glue kernels).
+    pub kernels_per_batch: usize,
+    /// Median extra host/driver latency for an online (batch-of-1) query (s).
+    pub online_overhead_s: f64,
+    /// Probability that an online query lands in a slow scheduling window.
+    pub tail_probability: f64,
+    /// Multiplier applied to the latency of tail queries.
+    pub tail_multiplier: f64,
+}
+
+impl GpuModel {
+    /// An NVIDIA V100-class model, matching the paper's hardware generation.
+    pub fn v100() -> Self {
+        Self {
+            peak_flops: 14.0e12,
+            compute_efficiency: 0.25,
+            peak_bandwidth: 900.0e9,
+            bandwidth_efficiency: 0.55,
+            kernel_launch_s: 8.0e-6,
+            kernels_per_batch: 8,
+            online_overhead_s: 60.0e-6,
+            tail_probability: 0.03,
+            tail_multiplier: 8.0,
+        }
+    }
+
+    /// Per-stage GPU time (s) for one batch, in the pipeline order OPQ,
+    /// IVFDist, SelCells, BuildLUT, PQDist, SelK. Each stage is the max of
+    /// its compute-roofline and bandwidth-roofline time — the breakdown the
+    /// paper profiles in Figure 3 (second row).
+    pub fn stage_times_s(&self, workload: &WorkloadModel, batch: usize) -> [f64; 6] {
+        let batch = batch.max(1) as f64;
+        let flops_avail = self.peak_flops * self.compute_efficiency;
+        let bw_avail = self.peak_bandwidth * self.bandwidth_efficiency;
+
+        let dim = workload.dim as f64;
+        let m = workload.m as f64;
+        let ksub = workload.ksub as f64;
+        let nlist = workload.nlist as f64;
+        let scanned = workload.expected_scanned_codes;
+        let k = workload.k as f64;
+
+        // Stage OPQ: dim × dim MACs per query (compute bound).
+        let opq = if workload.opq { batch * dim * dim * 2.0 / flops_avail } else { 0.0 };
+        // Stage IVFDist: nlist distances of dim dims, streaming the centroid table.
+        let ivf_flops = batch * nlist * dim * 2.0;
+        let ivf_bytes = nlist * dim * 4.0 + batch * nlist * 4.0;
+        let ivf = (ivf_flops / flops_avail).max(ivf_bytes / bw_avail);
+        // Stage SelCells: selecting nprobe of nlist (cheap bitonic pass).
+        let selcells = batch * nlist * (workload.nprobe as f64).log2().max(1.0) / flops_avail;
+        // Stage BuildLUT: m × ksub sub-distances of dsub dims.
+        let dsub = dim / m.max(1.0);
+        let lut = batch * m * ksub * dsub * 2.0 / flops_avail;
+        // Stage PQDist: table lookups — memory bound on the code stream.
+        let pq = (batch * scanned * m / flops_avail).max(batch * scanned * m / bw_avail);
+        // Stage SelK: k-selection over the scanned candidates; Faiss-GPU's
+        // WarpSelect cost grows with K.
+        let selk = batch * scanned * (k.log2() + 1.0) * 4.0 / flops_avail;
+
+        [opq, ivf, selcells, lut, pq, selk]
+    }
+
+    /// Time (s) for the GPU to process one *batch* of `batch` queries of the
+    /// given workload: per-stage roofline times plus kernel-launch overhead.
+    pub fn batch_time_s(&self, workload: &WorkloadModel, batch: usize) -> f64 {
+        let stages: f64 = self.stage_times_s(workload, batch).iter().sum();
+        stages + self.kernel_launch_s * self.kernels_per_batch as f64
+    }
+
+    /// Batched throughput in queries per second (Figure 10 methodology,
+    /// batch = 10 000 in the paper).
+    pub fn batch_qps(&self, workload: &WorkloadModel, batch: usize) -> f64 {
+        batch as f64 / self.batch_time_s(workload, batch)
+    }
+
+    /// Generates a seeded online-latency distribution (µs) for `n` queries
+    /// (Figure 11 methodology: one query at a time).
+    pub fn online_latency_distribution(
+        &self,
+        workload: &WorkloadModel,
+        n: usize,
+        seed: u64,
+    ) -> LatencyDistribution {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base_s = self.batch_time_s(workload, 1) + self.online_overhead_s;
+        let samples: Vec<f64> = (0..n.max(1))
+            .map(|_| {
+                // Scheduling jitter: ±20 % uniform noise around the base, and
+                // with probability `tail_probability` the query lands behind a
+                // competing batch and pays the tail multiplier.
+                let jitter = 1.0 + rng.gen_range(-0.2..0.2);
+                let tail = if rng.gen::<f64>() < self.tail_probability {
+                    // Tail queries wait behind competing batches; the wait is
+                    // modelled as exponential (unbounded spread), which is
+                    // what makes the max over N accelerators keep growing.
+                    let e = -(1.0 - rng.gen::<f64>()).ln();
+                    self.tail_multiplier * (0.5 + e)
+                } else {
+                    1.0
+                };
+                base_s * jitter * tail * 1e6
+            })
+            .collect();
+        LatencyDistribution::new(samples)
+    }
+}
+
+/// A complete GPU "measurement" for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuRunReport {
+    /// Batched throughput (QPS).
+    pub batch_qps: f64,
+    /// Online latency distribution (µs).
+    pub latency: LatencyDistribution,
+}
+
+impl GpuRunReport {
+    /// Runs the model for a workload.
+    pub fn measure(model: &GpuModel, workload: &WorkloadModel, batch: usize, queries: usize, seed: u64) -> Self {
+        Self {
+            batch_qps: model.batch_qps(workload, batch),
+            latency: model.online_latency_distribution(workload, queries, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_ivf::params::IvfPqParams;
+
+    fn workload(nlist: usize, nprobe: usize, k: usize) -> WorkloadModel {
+        let params = IvfPqParams::new(nlist, nprobe, k);
+        WorkloadModel::analytic(128, 16, 256, 100_000_000, &params)
+    }
+
+    #[test]
+    fn batch_qps_is_in_a_plausible_range_for_sift100m() {
+        // Faiss on a V100 reaches tens of thousands of QPS on SIFT100M at
+        // moderate nprobe; the model should land in that order of magnitude.
+        let qps = GpuModel::v100().batch_qps(&workload(8192, 16, 10), 10_000);
+        assert!(qps > 10_000.0 && qps < 1_000_000.0, "GPU QPS {qps} implausible");
+    }
+
+    #[test]
+    fn throughput_drops_with_more_probed_cells() {
+        let model = GpuModel::v100();
+        let few = model.batch_qps(&workload(8192, 4, 10), 10_000);
+        let many = model.batch_qps(&workload(8192, 64, 10), 10_000);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn batching_amortises_launch_overhead() {
+        let model = GpuModel::v100();
+        let w = workload(8192, 16, 10);
+        let single = model.batch_qps(&w, 1);
+        let batched = model.batch_qps(&w, 10_000);
+        assert!(batched > single * 2.0);
+    }
+
+    #[test]
+    fn online_latency_has_a_heavy_tail() {
+        let model = GpuModel::v100();
+        let dist = model.online_latency_distribution(&workload(8192, 16, 10), 5_000, 7);
+        assert!(dist.tail_ratio() > 2.0, "GPU tail ratio {}", dist.tail_ratio());
+    }
+
+    #[test]
+    fn latency_sampling_is_deterministic_per_seed() {
+        let model = GpuModel::v100();
+        let w = workload(8192, 16, 10);
+        let a = model.online_latency_distribution(&w, 100, 3);
+        let b = model.online_latency_distribution(&w, 100, 3);
+        assert_eq!(a, b);
+        let c = model.online_latency_distribution(&w, 100, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn larger_k_reduces_gpu_throughput() {
+        let model = GpuModel::v100();
+        let k1 = model.batch_qps(&workload(8192, 16, 1), 10_000);
+        let k100 = model.batch_qps(&workload(8192, 16, 100), 10_000);
+        assert!(k100 < k1);
+    }
+}

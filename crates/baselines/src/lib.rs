@@ -1,0 +1,23 @@
+//! Evaluation baselines.
+//!
+//! The paper compares the FANNS-generated accelerators against three
+//! baselines (§7.1):
+//!
+//! * **CPU** — Faiss IVF-PQ on a 16-vCPU Xeon. Reproduced by the measured,
+//!   multithreaded searcher in [`fanns_ivf::baseline_cpu`]; [`cpu`] adds the
+//!   latency-distribution plumbing the scale-out experiments need.
+//! * **GPU** — Faiss on NVIDIA V100s. No GPU exists in this environment, so
+//!   [`gpu`] provides an analytic roofline + tail-latency model calibrated to
+//!   the relative behaviour reported in the paper (5–22× the FPGA's batch
+//!   throughput, lower median latency, heavy tail).
+//! * **Fixed FPGA** — the parameter-independent designs of §7.2.3, provided
+//!   by [`fanns_dse::baseline_designs`] and wrapped here with the simulator
+//!   so they can be measured like any other accelerator.
+
+pub mod cpu;
+pub mod fpga_fixed;
+pub mod gpu;
+
+pub use cpu::cpu_latency_distribution;
+pub use fpga_fixed::measure_fixed_fpga;
+pub use gpu::{GpuModel, GpuRunReport};

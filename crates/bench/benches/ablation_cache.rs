@@ -1,0 +1,51 @@
+//! Ablation: index caching (on-chip vs HBM) — the third hardware choice of
+//! Table 2 — plus the software cost of the structures being cached.
+//!
+//! The cycle-model consequences are reported once per configuration (the
+//! on-chip variant removes the HBM latency/II penalty from Stage IVFDist and
+//! Stage BuildLUT); the measured benchmark covers the corresponding software
+//! kernels: building the distance lookup table and scanning codes with it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fanns_bench::{build_index, sift_workload, Scale};
+use fanns_hwsim::config::{AcceleratorConfig, IndexStore};
+use fanns_ivf::params::IvfPqParams;
+use fanns_perfmodel::qps::{predict_qps, WorkloadModel};
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let workload = sift_workload(Scale::Small);
+    let index = build_index(&workload, 64, false, 11);
+    let params = IvfPqParams::new(64, 8, 10).with_m(16);
+    let query = workload.queries.get(0).to_vec();
+
+    // Cycle-model consequences of the caching decision, reported once.
+    let wm = WorkloadModel::from_index(&index, &params);
+    for (label, store) in [("on-chip", IndexStore::OnChip), ("HBM", IndexStore::Hbm)] {
+        let mut cfg = AcceleratorConfig::balanced();
+        cfg.ivf_store = store;
+        cfg.lut_store = store;
+        let pred = predict_qps(&wm, &cfg);
+        eprintln!(
+            "[model] IVF/LUT tables in {label}: predicted QPS {:.0}, bottleneck {}",
+            pred.qps,
+            pred.bottleneck.name()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_cache_software_kernels");
+    group.sample_size(20);
+    group.bench_function("build_distance_table", |b| {
+        b.iter(|| index.pq().build_distance_table(black_box(&query)));
+    });
+    let lut = index.pq().build_distance_table(&query);
+    let cells: Vec<usize> = (0..index.nlist()).collect();
+    group.bench_function("adc_scan_all_cells", |b| {
+        b.iter(|| fanns_ivf::search::stage_pq_dist(&index, black_box(&cells), &lut));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_ablation);
+criterion_main!(benches);

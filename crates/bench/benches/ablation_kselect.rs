@@ -1,0 +1,61 @@
+//! Ablation: the two K-selection microarchitectures of §5.1.2.
+//!
+//! Benchmarks the functional HPQ and HSMPQG units on the same input streams
+//! and also reports (via the cycle model, printed once) the hardware cycles
+//! each would take — the trade-off that decides which one the DSE picks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fanns_hwsim::config::SelectArch;
+use fanns_hwsim::priority_queue::QueueItem;
+use fanns_hwsim::select::{KSelectionUnit, SelectionSpec};
+
+fn make_streams(z: usize, v: usize) -> Vec<Vec<QueueItem>> {
+    (0..z)
+        .map(|i| {
+            (0..v)
+                .map(|j| {
+                    let x = ((i * 2654435761 + j * 40503) % 1_000_000) as f32;
+                    QueueItem::new(x, (i * v + j) as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_selection_archs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_kselect");
+    group.sample_size(20);
+    for &(z, s) in &[(16usize, 10usize), (64, 10), (64, 100)] {
+        let streams = make_streams(z, 256);
+        for arch in [SelectArch::Hpq, SelectArch::Hsmpqg] {
+            let spec = SelectionSpec::new(arch, z, s);
+            if arch == SelectArch::Hsmpqg && !spec.hsmpqg_applicable() {
+                continue;
+            }
+            // Report the modelled hardware cost once per configuration.
+            eprintln!(
+                "[model] z={z} s={s} {}: {} cycles/query, {} queue registers, {} bitonic CSUs",
+                arch.name(),
+                spec.cycles_per_query(256),
+                spec.priority_queue_registers(),
+                spec.bitonic_compare_swap_units()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(arch.name(), format!("z{z}_s{s}")),
+                &spec,
+                |b, spec| {
+                    b.iter(|| {
+                        let mut unit = KSelectionUnit::new(*spec);
+                        unit.select(black_box(&streams))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_archs);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion companion to the Figure 3 harness: wall-clock cost of the CPU
+//! six-stage search as nprobe, nlist and K change. The relative growth of the
+//! per-stage costs is what shifts the bottleneck in the paper's Figure 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fanns_bench::{build_index, sift_workload, Scale};
+use fanns_ivf::search::search;
+
+fn bench_nprobe_sweep(c: &mut Criterion) {
+    let workload = sift_workload(Scale::Small);
+    let index = build_index(&workload, 64, false, 7);
+    let query = workload.queries.get(0).to_vec();
+
+    let mut group = c.benchmark_group("fig3_cpu_nprobe_sweep");
+    group.sample_size(20);
+    for nprobe in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(nprobe), &nprobe, |b, &nprobe| {
+            b.iter(|| search(&index, black_box(&query), 10, nprobe));
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let workload = sift_workload(Scale::Small);
+    let index = build_index(&workload, 64, false, 7);
+    let query = workload.queries.get(1).to_vec();
+
+    let mut group = c.benchmark_group("fig3_cpu_k_sweep");
+    group.sample_size(20);
+    for k in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| search(&index, black_box(&query), k, 16));
+        });
+    }
+    group.finish();
+}
+
+fn bench_nlist_sweep(c: &mut Criterion) {
+    let workload = sift_workload(Scale::Small);
+    let mut group = c.benchmark_group("fig3_cpu_nlist_sweep");
+    group.sample_size(20);
+    for nlist in [32usize, 128] {
+        let index = build_index(&workload, nlist, false, 7);
+        let query = workload.queries.get(2).to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(nlist), &nlist, |b, _| {
+            b.iter(|| search(&index, black_box(&query), 10, 16));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nprobe_sweep, bench_k_sweep, bench_nlist_sweep);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion companion to the Figure 10 harness: per-query cost of the CPU
+//! baseline versus the simulated FANNS accelerator (functional + cycle model)
+//! on the same index and parameters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fanns_bench::{build_index, sift_workload, Scale};
+use fanns_hwsim::accelerator::Accelerator;
+use fanns_hwsim::config::AcceleratorConfig;
+use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::search::search;
+
+fn bench_cpu_vs_simulated_fpga(c: &mut Criterion) {
+    let workload = sift_workload(Scale::Small);
+    let index = build_index(&workload, 64, false, 9);
+    let params = IvfPqParams::new(64, 8, 10).with_m(16);
+    let accelerator = Accelerator::new(&index, AcceleratorConfig::balanced(), params).unwrap();
+    let query = workload.queries.get(0).to_vec();
+
+    let mut group = c.benchmark_group("fig10_single_query");
+    group.sample_size(20);
+    group.bench_function("cpu_search", |b| {
+        b.iter(|| search(&index, black_box(&query), 10, 8));
+    });
+    group.bench_function("fanns_simulator_fast_path", |b| {
+        b.iter(|| accelerator.simulate_query_fast(black_box(&query)));
+    });
+    group.bench_function("fanns_simulator_hw_functional", |b| {
+        b.iter(|| accelerator.simulate_query(black_box(&query)));
+    });
+    group.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let workload = sift_workload(Scale::Small);
+    let index = build_index(&workload, 64, false, 9);
+    let params = IvfPqParams::new(64, 8, 10).with_m(16);
+    let searcher = fanns_ivf::baseline_cpu::CpuSearcher::new(&index, params);
+
+    let mut group = c.benchmark_group("fig10_batch");
+    group.sample_size(10);
+    group.bench_function("cpu_batch_64_queries", |b| {
+        b.iter(|| searcher.search_batch(black_box(&workload.queries)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_vs_simulated_fpga, bench_batch_throughput);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 11: single-node online-query latency distributions for CPU, GPU and
+//! the FANNS FPGA.
+//!
+//! The paper's shape to reproduce: the GPU has the lowest median but a heavy
+//! tail; the FPGA has a nearly flat distribution (P95 ≈ median); the CPU sits
+//! in between, with the FPGA achieving 2.0–4.6× better P95 than the CPU.
+
+use fanns::framework::{Fanns, FannsRequest};
+use fanns_baselines::cpu::cpu_latency_distribution;
+use fanns_baselines::gpu::GpuModel;
+use fanns_bench::{print_header, sift_workload, Scale};
+use fanns_perfmodel::qps::WorkloadModel;
+use fanns_scaleout::latency::LatencyDistribution;
+use fanns_scaleout::loggp::LogGpParams;
+
+fn print_dist(label: &str, dist: &LatencyDistribution) {
+    println!(
+        "{:<14} median={:>10.1}us  P95={:>10.1}us  P99={:>10.1}us  tail/median={:>5.2}",
+        label,
+        dist.median(),
+        dist.percentile(95.0),
+        dist.percentile(99.0),
+        dist.tail_ratio()
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = sift_workload(scale);
+
+    print_header(
+        "Figure 11",
+        "single-node online latency distributions (CPU measured, GPU modelled, FPGA simulated)",
+    );
+
+    let mut request = FannsRequest::recall_goal(10, 0.60);
+    request.explorer.nlist_grid = scale.nlist_grid();
+    let request = request.with_network_stack(true);
+    let generated = match Fanns::new(request).run(&workload.database, &workload.queries) {
+        Ok(g) => g,
+        Err(e) => {
+            println!("co-design failed: {e}");
+            return;
+        }
+    };
+    let params = generated.choice.params;
+    println!("index: {}, nprobe={}, K=10\n", generated.choice.index_label, params.nprobe);
+
+    // CPU: measured one-query-at-a-time latencies.
+    let cpu = cpu_latency_distribution(&generated.index, params, &workload.queries);
+    print_dist("CPU", &cpu);
+
+    // GPU: modelled online latency distribution.
+    let gpu = GpuModel::v100().online_latency_distribution(
+        &WorkloadModel::from_index(&generated.index, &params),
+        5_000,
+        11,
+    );
+    print_dist("GPU (model)", &gpu);
+
+    // FPGA: simulated accelerator latency plus the hardware TCP/IP RTT.
+    let report = generated.simulate(&workload.queries);
+    let fpga = LatencyDistribution::new(
+        report
+            .latencies_us
+            .iter()
+            .map(|l| l + LogGpParams::hardware_tcp_rtt_us())
+            .collect(),
+    );
+    print_dist("FPGA (FANNS)", &fpga);
+
+    println!(
+        "\nFPGA P95 vs CPU P95: {:.1}x better; FPGA tail/median {:.2} vs GPU {:.2}",
+        cpu.percentile(95.0) / fpga.percentile(95.0),
+        fpga.tail_ratio(),
+        gpu.tail_ratio()
+    );
+    println!("Expected shape (paper): GPU lowest median but heavy tail; FPGA flattest distribution and 2.0-4.6x better P95 than CPU.");
+}

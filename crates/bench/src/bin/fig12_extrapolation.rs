@@ -1,0 +1,77 @@
+//! Figure 12: estimated latency on large-scale deployments (16 → 1024
+//! accelerators).
+//!
+//! Uses the paper's methodology verbatim: sample per-node search latencies
+//! from the recorded single-node histories, take the max over N partitions,
+//! and add a LogGP binary-tree broadcast/reduce cost. The paper reports the
+//! FPGA's P99 advantage growing from 6.1× at 16 accelerators to 42.1× at
+//! 1024.
+
+use fanns::framework::{Fanns, FannsRequest};
+use fanns_baselines::gpu::GpuModel;
+use fanns_bench::{print_header, sift_workload, Scale};
+use fanns_perfmodel::qps::WorkloadModel;
+use fanns_scaleout::cluster::{sweep_accelerator_counts, ClusterSpec};
+use fanns_scaleout::latency::LatencyDistribution;
+use fanns_scaleout::loggp::LogGpParams;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = sift_workload(scale);
+
+    print_header(
+        "Figure 12",
+        "estimated P50/P99 latency for 16..1024 accelerators (FPGA vs GPU model)",
+    );
+
+    let mut request = FannsRequest::recall_goal(10, 0.60).with_network_stack(true);
+    request.explorer.nlist_grid = scale.nlist_grid();
+    let generated = match Fanns::new(request).run(&workload.database, &workload.queries) {
+        Ok(g) => g,
+        Err(e) => {
+            println!("co-design failed: {e}");
+            return;
+        }
+    };
+    let params = generated.choice.params;
+
+    let fpga_report = generated.simulate(&workload.queries);
+    let fpga_node = LatencyDistribution::new(
+        fpga_report
+            .latencies_us
+            .iter()
+            .map(|l| l + LogGpParams::hardware_tcp_rtt_us())
+            .collect(),
+    );
+    let gpu_node = GpuModel::v100().online_latency_distribution(
+        &WorkloadModel::from_index(&generated.index, &params),
+        5_000,
+        31,
+    );
+
+    let counts = [16usize, 32, 64, 128, 256, 512, 1024];
+    let base = ClusterSpec {
+        num_queries: 20_000,
+        ..ClusterSpec::eight_accelerators()
+    };
+    let net = LogGpParams::paper_infiniband();
+    let fpga = sweep_accelerator_counts(&counts, &base, &fpga_node, &net);
+    let gpu = sweep_accelerator_counts(&counts, &base, &gpu_node, &net);
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>12}",
+        "N", "FPGA P50 (us)", "FPGA P99 (us)", "GPU P50 (us)", "GPU P99 (us)", "P99 speedup"
+    );
+    for (i, &n) in counts.iter().enumerate() {
+        println!(
+            "{:>6} {:>14.1} {:>14.1} {:>14.1} {:>14.1} {:>11.1}x",
+            n,
+            fpga[i].median_us,
+            fpga[i].p99_us,
+            gpu[i].median_us,
+            gpu[i].p99_us,
+            gpu[i].p99_us / fpga[i].p99_us
+        );
+    }
+    println!("\nExpected shape (paper): the FPGA P99 speedup grows with the accelerator count (6.1x at 16 to 42.1x at 1024).");
+}

@@ -1,0 +1,73 @@
+//! Figure 1: eight-accelerator scale-out — FPGA cluster vs GPU cluster.
+//!
+//! Each accelerator holds one partition of the dataset (nlist=8192-style
+//! index, m=16, R@10=80% in the paper). Per-node latency histories come from
+//! the simulated FANNS accelerator and the GPU model; the distributed query
+//! latency is the max over the eight partitions plus the binary-tree
+//! broadcast/reduce network cost. The paper reports 5.5× (median) and 7.6×
+//! (P95) FPGA advantage.
+
+use fanns::framework::{Fanns, FannsRequest};
+use fanns_baselines::gpu::GpuModel;
+use fanns_bench::{print_header, sift_workload, Scale};
+use fanns_perfmodel::qps::WorkloadModel;
+use fanns_scaleout::cluster::{simulate_cluster, ClusterSpec};
+use fanns_scaleout::latency::LatencyDistribution;
+use fanns_scaleout::loggp::LogGpParams;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = sift_workload(scale);
+
+    print_header(
+        "Figure 1",
+        "eight-accelerator scale-out: FPGA cluster vs GPU cluster (median / P95 latency)",
+    );
+
+    // Build the per-partition accelerator (every node runs the same design).
+    let mut request = FannsRequest::recall_goal(10, 0.60).with_network_stack(true);
+    request.explorer.nlist_grid = scale.nlist_grid();
+    let generated = match Fanns::new(request).run(&workload.database, &workload.queries) {
+        Ok(g) => g,
+        Err(e) => {
+            println!("co-design failed: {e}");
+            return;
+        }
+    };
+    let params = generated.choice.params;
+
+    // Per-node latency distributions.
+    let fpga_report = generated.simulate(&workload.queries);
+    let fpga_node = LatencyDistribution::new(
+        fpga_report
+            .latencies_us
+            .iter()
+            .map(|l| l + LogGpParams::hardware_tcp_rtt_us())
+            .collect(),
+    );
+    let gpu_node = GpuModel::v100().online_latency_distribution(
+        &WorkloadModel::from_index(&generated.index, &params),
+        5_000,
+        21,
+    );
+
+    let spec = ClusterSpec::eight_accelerators();
+    let net = LogGpParams::paper_infiniband();
+    let fpga_cluster = simulate_cluster(&spec, &fpga_node, &net);
+    let gpu_cluster = simulate_cluster(&spec, &gpu_node, &net);
+
+    println!("{:<18} {:>14} {:>14} {:>14}", "cluster (N=8)", "median (us)", "P95 (us)", "P99 (us)");
+    println!(
+        "{:<18} {:>14.1} {:>14.1} {:>14.1}",
+        "8x FPGA (FANNS)", fpga_cluster.median_us, fpga_cluster.p95_us, fpga_cluster.p99_us
+    );
+    println!(
+        "{:<18} {:>14.1} {:>14.1} {:>14.1}",
+        "8x GPU (model)", gpu_cluster.median_us, gpu_cluster.p95_us, gpu_cluster.p99_us
+    );
+    println!(
+        "\nFPGA speedup over GPU: median {:.1}x, P95 {:.1}x   (paper: 5.5x median, 7.6x P95)",
+        gpu_cluster.median_us / fpga_cluster.median_us,
+        gpu_cluster.p95_us / fpga_cluster.p95_us
+    );
+}

@@ -1,0 +1,105 @@
+//! Figure 9: the optimal FPGA design shifts with the algorithm parameters.
+//!
+//! For sweeps of nprobe, nlist and K, ask the performance model for the best
+//! design under each parameter setting and print the per-stage LUT share of
+//! that design. The paper's observation to reproduce: more nprobe shifts area
+//! toward PQDist/SelK, more nlist toward IVFDist, more K toward SelK.
+
+use fanns_bench::print_header;
+use fanns_hwsim::config::AcceleratorConfig;
+use fanns_ivf::params::{IvfPqParams, ALL_STAGES};
+use fanns_perfmodel::device::FpgaDevice;
+use fanns_perfmodel::enumerate::{enumerate_designs, EnumerationSpace};
+use fanns_perfmodel::qps::{predict_qps, WorkloadModel};
+use fanns_perfmodel::resources::{resource_report, DesignContext};
+
+/// Finds the best design for a workload and returns it with its prediction.
+fn best_design(
+    workload: &WorkloadModel,
+    device: &FpgaDevice,
+    space: &EnumerationSpace,
+) -> Option<(AcceleratorConfig, f64)> {
+    let ctx = DesignContext {
+        dim: workload.dim,
+        m: workload.m,
+        ksub: workload.ksub,
+        nlist: workload.nlist,
+        nprobe: workload.nprobe,
+        k: workload.k,
+        with_network_stack: false,
+    };
+    enumerate_designs(space, device, &ctx, workload.opq)
+        .into_iter()
+        .map(|d| {
+            let qps = predict_qps(workload, &d).qps;
+            (d, qps)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+fn print_design_row(label: &str, design: &AcceleratorConfig, workload: &WorkloadModel, qps: f64, device: &FpgaDevice) {
+    let ctx = DesignContext {
+        dim: workload.dim,
+        m: workload.m,
+        ksub: workload.ksub,
+        nlist: workload.nlist,
+        nprobe: workload.nprobe,
+        k: workload.k,
+        with_network_stack: false,
+    };
+    let report = resource_report(design, &ctx, device);
+    print!("{label:<16}");
+    for f in report.stage_lut_fraction {
+        print!(" {:>9.1}%", f * 100.0);
+    }
+    println!(
+        "   SelK={}  #PQD={:>3}  pred.QPS={qps:>10.0}",
+        design.sel_k_arch.name(),
+        design.sizing.pq_dist_pes
+    );
+}
+
+fn main() {
+    let device = FpgaDevice::alveo_u55c();
+    let space = EnumerationSpace::standard();
+    // Paper-scale workload: 100M vectors, 16-byte codes.
+    let base = |nlist: usize, nprobe: usize, k: usize| {
+        WorkloadModel::analytic(128, 16, 256, 100_000_000, &IvfPqParams::new(nlist, nprobe, k))
+    };
+
+    print_header(
+        "Figure 9",
+        "per-stage LUT share of the model-optimal design as parameters shift (SIFT100M-scale workload)",
+    );
+    print!("{:<16}", "sweep point");
+    for s in ALL_STAGES {
+        print!(" {:>10}", s.name());
+    }
+    println!();
+
+    println!("\n-- sweep nprobe (nlist=8192, K=10) --");
+    for nprobe in [1usize, 4, 16, 64, 128] {
+        let w = base(8192, nprobe, 10);
+        if let Some((design, qps)) = best_design(&w, &device, &space) {
+            print_design_row(&format!("nprobe={nprobe}"), &design, &w, qps, &device);
+        }
+    }
+
+    println!("\n-- sweep nlist (nprobe=16, K=10) --");
+    for nlist in [1usize << 11, 1 << 13, 1 << 15, 1 << 17] {
+        let w = base(nlist, 16, 10);
+        if let Some((design, qps)) = best_design(&w, &device, &space) {
+            print_design_row(&format!("nlist={nlist}"), &design, &w, qps, &device);
+        }
+    }
+
+    println!("\n-- sweep K (nlist=8192, nprobe=16) --");
+    for k in [1usize, 10, 100] {
+        let w = base(8192, 16, k);
+        if let Some((design, qps)) = best_design(&w, &device, &space) {
+            print_design_row(&format!("K={k}"), &design, &w, qps, &device);
+        }
+    }
+
+    println!("\nExpected shape (paper): PQDist/SelK area grows with nprobe; IVFDist area grows with nlist; SelK area surges with K.");
+}

@@ -1,0 +1,51 @@
+//! Table 3: time consumption of the FANNS workflow steps.
+//!
+//! Runs the end-to-end workflow once and reports the wall-clock time of each
+//! step. The paper's absolute numbers (hours for index training, ten hours
+//! for bitstream compilation) become seconds here because the datasets are
+//! laptop-scale and the "compilation" target is a simulator, but the relative
+//! ordering — index building dominates, code generation is trivial — holds.
+
+use fanns::framework::{Fanns, FannsRequest};
+use fanns_bench::{print_header, sift_workload, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = sift_workload(scale);
+
+    print_header("Table 3", "time consumption of the FANNS workflow (this reproduction)");
+
+    let mut request = FannsRequest::recall_goal(10, 0.60);
+    request.explorer.nlist_grid = scale.nlist_grid();
+    let generated = match Fanns::new(request).run(&workload.database, &workload.queries) {
+        Ok(g) => g,
+        Err(e) => {
+            println!("workflow failed: {e}");
+            return;
+        }
+    };
+
+    let t = &generated.timings;
+    println!("{:<42} {:>12}", "step", "time");
+    println!("{:<42} {:>12}", "compute sample ground truth", format!("{:.2?}", t.ground_truth));
+    println!(
+        "{:<42} {:>12}",
+        "build indexes + recall-nprobe relationship",
+        format!("{:.2?}", t.explore_indexes)
+    );
+    println!("{:<42} {:>12}", "predict optimal design", format!("{:.2?}", t.predict_design));
+    println!("{:<42} {:>12}", "FPGA code generation (kernel plan)", format!("{:.2?}", t.code_generation));
+    println!(
+        "{:<42} {:>12}",
+        "accelerator instantiation (sim 'bitstream')",
+        format!("{:.2?}", t.instantiate)
+    );
+    println!(
+        "\npaper (100M-vector scale): hours per index / minutes per recall curve / <1h design prediction / seconds codegen / ~10h bitstream"
+    );
+    println!("\n{}", generated.summary());
+    println!("\nGenerated kernel plan (excerpt):");
+    for line in generated.kernel_plan.lines().take(12) {
+        println!("  {line}");
+    }
+}

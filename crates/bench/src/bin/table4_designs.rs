@@ -1,0 +1,81 @@
+//! Table 4: human-crafted (parameter-independent) vs FANNS-generated designs.
+//!
+//! For each recall goal (R@1, R@10, R@100 on the SIFT-like dataset) the
+//! harness runs the full co-design workflow and prints, next to the baseline
+//! design for the same K: the chosen index and nprobe, the per-stage PE
+//! counts and LUT shares, and the predicted QPS — the structure of Table 4.
+
+use fanns::framework::{Fanns, FannsRequest};
+use fanns_bench::{print_header, sift_workload, Scale};
+use fanns_dse::baseline_designs::baseline_design_for_k;
+use fanns_dse::report::{design_table, DesignRow};
+use fanns_perfmodel::device::FpgaDevice;
+use fanns_perfmodel::resources::DesignContext;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = sift_workload(scale);
+    let device = FpgaDevice::alveo_u55c();
+
+    // Recall goals scaled to what the synthetic dataset + small indexes can
+    // reach (the paper uses R@1=30%, R@10=80%, R@100=95% on SIFT100M).
+    let goals = [(1usize, 0.20), (10, 0.60), (100, 0.90)];
+
+    print_header(
+        "Table 4",
+        "baseline vs FANNS-generated designs per recall goal (SIFT-like dataset)",
+    );
+
+    let mut rows = Vec::new();
+    for (k, goal) in goals {
+        let ctx = DesignContext {
+            dim: workload.database.dim(),
+            m: 16,
+            ksub: 256,
+            nlist: scale.default_nlist(),
+            nprobe: 16,
+            k,
+            with_network_stack: false,
+        };
+        rows.push(DesignRow::new(
+            format!("K={k} (Baseline)"),
+            "N/A",
+            None,
+            baseline_design_for_k(k, device.target_freq_mhz),
+            &ctx,
+            &device,
+            None,
+        ));
+
+        let mut request = FannsRequest::recall_goal(k, goal);
+        request.explorer.nlist_grid = scale.nlist_grid();
+        match Fanns::new(request).run(&workload.database, &workload.queries) {
+            Ok(generated) => {
+                let params = generated.choice.params;
+                let ctx = DesignContext {
+                    nlist: params.nlist,
+                    nprobe: params.effective_nprobe(),
+                    ..ctx
+                };
+                rows.push(DesignRow::new(
+                    format!("K={k} (FANNS)"),
+                    generated.choice.index_label.clone(),
+                    Some(params.nprobe),
+                    generated.choice.design,
+                    &ctx,
+                    &device,
+                    Some(generated.choice.prediction.qps),
+                ));
+                println!(
+                    "[K={k}, goal R@{k}={:.0}%] {}",
+                    goal * 100.0,
+                    generated.summary()
+                );
+            }
+            Err(e) => println!("[K={k}, goal R@{k}={:.0}%] co-design failed: {e}", goal * 100.0),
+        }
+    }
+
+    println!("\n{}", design_table(&rows));
+    println!("Expected shape (paper): FANNS picks a different index/nprobe per goal, SelK switches microarchitecture and its LUT share grows with K, predicted QPS drops as K grows.");
+}

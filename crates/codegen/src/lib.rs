@@ -1,0 +1,14 @@
+//! Accelerator generation (steps 6–7 of the workflow).
+//!
+//! The original framework emits Vitis HLS C++ that is compiled to a
+//! bitstream. In this reproduction the "generated accelerator" is (a) a
+//! structural kernel plan — a textual, HLS-flavoured description of every PE,
+//! FIFO and memory interface the chosen design instantiates — and (b) a
+//! runnable [`fanns_hwsim::Accelerator`] bound to the index, which plays the
+//! role of the deployed bitstream.
+
+pub mod emit;
+pub mod plan;
+
+pub use emit::emit_kernel_plan;
+pub use plan::{instantiate, AcceleratorPlan};

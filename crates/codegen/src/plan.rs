@@ -1,0 +1,127 @@
+//! The accelerator plan: everything needed to "build" one accelerator.
+
+use serde::{Deserialize, Serialize};
+
+use fanns_hwsim::accelerator::{Accelerator, AcceleratorError};
+use fanns_hwsim::config::AcceleratorConfig;
+use fanns_ivf::index::IvfPqIndex;
+use fanns_ivf::params::IvfPqParams;
+use fanns_perfmodel::qps::QpsPrediction;
+
+/// A complete, self-describing accelerator build plan — the artifact the code
+/// generator hands to the "compiler" (here: the simulator instantiation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorPlan {
+    /// Human-readable name, e.g. `fanns_sift_r10_80`.
+    pub name: String,
+    /// The index the accelerator will serve (label only; the index itself is
+    /// passed at instantiation time, like loading the database into HBM).
+    pub index_label: String,
+    /// The query-time algorithm parameters baked into the design.
+    pub params: IvfPqParams,
+    /// The hardware design point.
+    pub design: AcceleratorConfig,
+    /// The performance model's prediction for this combination, recorded so
+    /// deployed accelerators can be validated against the model (§7.3.1's
+    /// 86.9–99.4 % accuracy claim).
+    pub predicted: Option<QpsPrediction>,
+    /// Whether a network stack is attached (scale-out deployments).
+    pub with_network_stack: bool,
+}
+
+impl AcceleratorPlan {
+    /// Creates a plan.
+    pub fn new(
+        name: impl Into<String>,
+        index_label: impl Into<String>,
+        params: IvfPqParams,
+        design: AcceleratorConfig,
+        predicted: Option<QpsPrediction>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            index_label: index_label.into(),
+            params,
+            design,
+            predicted,
+            with_network_stack: false,
+        }
+    }
+
+    /// Enables the hardware network stack (used by the scale-out experiments).
+    pub fn with_network_stack(mut self, enabled: bool) -> Self {
+        self.with_network_stack = enabled;
+        self
+    }
+
+    /// Serialises the plan to JSON (the machine-readable half of the
+    /// generated artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan serialisation cannot fail")
+    }
+
+    /// Parses a plan back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// "Compiles" a plan against an index: validates memory feasibility and
+/// returns the runnable simulated accelerator (the stand-in for the
+/// ten-hour bitstream compilation of Table 3).
+pub fn instantiate<'a>(
+    plan: &AcceleratorPlan,
+    index: &'a IvfPqIndex,
+) -> Result<Accelerator<'a>, AcceleratorError> {
+    Accelerator::new(index, plan.design, plan.params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::synth::SyntheticSpec;
+    use fanns_ivf::index::IvfPqTrainConfig;
+
+    fn plan_and_index() -> (AcceleratorPlan, IvfPqIndex) {
+        let (db, _) = SyntheticSpec::sift_small(81).generate();
+        let index = IvfPqIndex::build(
+            &db,
+            &IvfPqTrainConfig::new(16).with_m(16).with_ksub(64).with_train_sample(1_000),
+        );
+        let params = IvfPqParams::new(16, 4, 10).with_m(16);
+        let plan = AcceleratorPlan::new(
+            "fanns_test",
+            "IVF16",
+            params,
+            AcceleratorConfig::balanced(),
+            None,
+        );
+        (plan, index)
+    }
+
+    #[test]
+    fn plan_json_roundtrip() {
+        let (plan, _) = plan_and_index();
+        let json = plan.to_json();
+        let back = AcceleratorPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+        assert!(json.contains("fanns_test"));
+    }
+
+    #[test]
+    fn instantiate_produces_a_working_accelerator() {
+        let (plan, index) = plan_and_index();
+        let acc = instantiate(&plan, &index).unwrap();
+        assert_eq!(acc.params().k, 10);
+        assert_eq!(acc.config().sizing.pq_dist_pes, plan.design.sizing.pq_dist_pes);
+    }
+
+    #[test]
+    fn network_stack_flag_is_preserved() {
+        let (plan, _) = plan_and_index();
+        let plan = plan.with_network_stack(true);
+        assert!(plan.with_network_stack);
+        let back = AcceleratorPlan::from_json(&plan.to_json()).unwrap();
+        assert!(back.with_network_stack);
+    }
+}

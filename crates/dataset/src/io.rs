@@ -1,0 +1,273 @@
+//! Readers and writers for the `fvecs` / `ivecs` / `bvecs` vector formats.
+//!
+//! These are the formats the public SIFT/Deep ANN benchmarks are distributed
+//! in: each vector is stored as a little-endian `i32` dimensionality followed
+//! by `d` values (`f32` for fvecs, `i32` for ivecs, `u8` for bvecs). Support
+//! for them means the synthetic datasets used in this reproduction can be
+//! swapped for the real benchmark files without touching any other code.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::types::VectorDataset;
+
+/// Errors produced by the vector-file readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file contents are not a valid vector file.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an fvecs byte buffer into a dataset.
+pub fn parse_fvecs(bytes: &[u8]) -> Result<VectorDataset, IoError> {
+    let mut buf = bytes;
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    while buf.remaining() > 0 {
+        if buf.remaining() < 4 {
+            return Err(IoError::Format("truncated dimension header".into()));
+        }
+        let d = buf.get_i32_le();
+        if d <= 0 {
+            return Err(IoError::Format(format!("non-positive dimension {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(prev) if prev != d => {
+                return Err(IoError::Format(format!(
+                    "inconsistent dimensions: {prev} then {d}"
+                )))
+            }
+            _ => {}
+        }
+        if buf.remaining() < 4 * d {
+            return Err(IoError::Format("truncated vector payload".into()));
+        }
+        for _ in 0..d {
+            data.push(buf.get_f32_le());
+        }
+    }
+    let dim = dim.ok_or_else(|| IoError::Format("empty fvecs buffer".into()))?;
+    Ok(VectorDataset::new(dim, data))
+}
+
+/// Parses a bvecs byte buffer (u8 components) into a dataset of `f32`s.
+pub fn parse_bvecs(bytes: &[u8]) -> Result<VectorDataset, IoError> {
+    let mut buf = bytes;
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    while buf.remaining() > 0 {
+        if buf.remaining() < 4 {
+            return Err(IoError::Format("truncated dimension header".into()));
+        }
+        let d = buf.get_i32_le();
+        if d <= 0 {
+            return Err(IoError::Format(format!("non-positive dimension {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(prev) if prev != d => {
+                return Err(IoError::Format(format!(
+                    "inconsistent dimensions: {prev} then {d}"
+                )))
+            }
+            _ => {}
+        }
+        if buf.remaining() < d {
+            return Err(IoError::Format("truncated vector payload".into()));
+        }
+        for _ in 0..d {
+            data.push(buf.get_u8() as f32);
+        }
+    }
+    let dim = dim.ok_or_else(|| IoError::Format("empty bvecs buffer".into()))?;
+    Ok(VectorDataset::new(dim, data))
+}
+
+/// Parses an ivecs byte buffer into per-row `usize` id lists (the format used
+/// for benchmark ground-truth files).
+pub fn parse_ivecs(bytes: &[u8]) -> Result<Vec<Vec<usize>>, IoError> {
+    let mut buf = bytes;
+    let mut rows = Vec::new();
+    while buf.remaining() > 0 {
+        if buf.remaining() < 4 {
+            return Err(IoError::Format("truncated dimension header".into()));
+        }
+        let d = buf.get_i32_le();
+        if d < 0 {
+            return Err(IoError::Format(format!("negative row length {d}")));
+        }
+        let d = d as usize;
+        if buf.remaining() < 4 * d {
+            return Err(IoError::Format("truncated row payload".into()));
+        }
+        let mut row = Vec::with_capacity(d);
+        for _ in 0..d {
+            let v = buf.get_i32_le();
+            if v < 0 {
+                return Err(IoError::Format(format!("negative id {v}")));
+            }
+            row.push(v as usize);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Serialises a dataset into fvecs bytes.
+pub fn to_fvecs(dataset: &VectorDataset) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(dataset.len() * (4 + 4 * dataset.dim()));
+    for row in dataset.iter() {
+        out.put_i32_le(dataset.dim() as i32);
+        for &v in row {
+            out.put_f32_le(v);
+        }
+    }
+    out.to_vec()
+}
+
+/// Serialises id rows into ivecs bytes.
+pub fn to_ivecs(rows: &[Vec<usize>]) -> Vec<u8> {
+    let mut out = BytesMut::new();
+    for row in rows {
+        out.put_i32_le(row.len() as i32);
+        for &v in row {
+            out.put_i32_le(v as i32);
+        }
+    }
+    out.to_vec()
+}
+
+/// Reads an fvecs file from disk.
+pub fn read_fvecs(path: &Path) -> Result<VectorDataset, IoError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_fvecs(&bytes)
+}
+
+/// Reads a bvecs file from disk.
+pub fn read_bvecs(path: &Path) -> Result<VectorDataset, IoError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_bvecs(&bytes)
+}
+
+/// Reads an ivecs ground-truth file from disk.
+pub fn read_ivecs(path: &Path) -> Result<Vec<Vec<usize>>, IoError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_ivecs(&bytes)
+}
+
+/// Writes a dataset to an fvecs file.
+pub fn write_fvecs(path: &Path, dataset: &VectorDataset) -> Result<(), IoError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    writer.write_all(&to_fvecs(dataset))?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes id rows to an ivecs file.
+pub fn write_ivecs(path: &Path, rows: &[Vec<usize>]) -> Result<(), IoError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    writer.write_all(&to_ivecs(rows))?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let ds = VectorDataset::from_vectors(3, [[1.0f32, 2.0, 3.0], [4.0, 5.0, 6.0]]);
+        let bytes = to_fvecs(&ds);
+        let back = parse_fvecs(&bytes).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let rows = vec![vec![1usize, 2, 3], vec![7, 8]];
+        let bytes = to_ivecs(&rows);
+        let back = parse_ivecs(&bytes).unwrap();
+        assert_eq!(rows, back);
+    }
+
+    #[test]
+    fn bvecs_parses_byte_components() {
+        // One 4-d vector with components 10, 20, 30, 40.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&4i32.to_le_bytes());
+        bytes.extend_from_slice(&[10u8, 20, 30, 40]);
+        let ds = parse_bvecs(&bytes).unwrap();
+        assert_eq!(ds.dim(), 4);
+        assert_eq!(ds.get(0), &[10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn truncated_fvecs_is_rejected() {
+        let ds = VectorDataset::from_vectors(3, [[1.0f32, 2.0, 3.0]]);
+        let mut bytes = to_fvecs(&ds);
+        bytes.truncate(bytes.len() - 2);
+        assert!(parse_fvecs(&bytes).is_err());
+    }
+
+    #[test]
+    fn inconsistent_dimensions_are_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        bytes.extend_from_slice(&2.0f32.to_le_bytes());
+        bytes.extend_from_slice(&3i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        bytes.extend_from_slice(&2.0f32.to_le_bytes());
+        bytes.extend_from_slice(&3.0f32.to_le_bytes());
+        assert!(parse_fvecs(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_buffer_is_rejected() {
+        assert!(parse_fvecs(&[]).is_err());
+        assert!(parse_bvecs(&[]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fanns_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.fvecs");
+        let ds = VectorDataset::from_vectors(2, [[1.5f32, -2.5], [0.0, 9.0]]);
+        write_fvecs(&path, &ds).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

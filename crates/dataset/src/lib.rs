@@ -1,0 +1,38 @@
+//! Dataset substrate for the FANNS reproduction.
+//!
+//! The paper evaluates on the SIFT100M (128-dimensional) and Deep100M
+//! (96-dimensional) benchmarks. Those datasets are not available in this
+//! environment, so this crate provides:
+//!
+//! * [`synth`] — seeded synthetic generators that reproduce the *structural*
+//!   properties the co-design depends on (dimensionality, clustered geometry,
+//!   skewed cluster populations),
+//! * [`io`] — readers/writers for the standard `fvecs`/`ivecs`/`bvecs`
+//!   formats so real benchmark files can be dropped in when available,
+//! * [`ground_truth`] — an exact, parallel brute-force k-NN used to produce
+//!   recall ground truth,
+//! * [`recall`] — the R@K metrics used throughout the paper's evaluation,
+//! * [`sampling`] — train/query splitting helpers.
+//!
+//! All randomness is driven by explicit seeds so every experiment in the
+//! repository is reproducible bit-for-bit.
+
+pub mod ground_truth;
+pub mod io;
+pub mod recall;
+pub mod sampling;
+pub mod synth;
+pub mod types;
+
+pub use ground_truth::{ground_truth, GroundTruth};
+pub use recall::{recall_at_k, recall_curve, RecallReport};
+pub use synth::{DatasetKind, SyntheticSpec};
+pub use types::{Query, QuerySet, VectorDataset};
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::ground_truth::{ground_truth, GroundTruth};
+    pub use crate::recall::{recall_at_k, RecallReport};
+    pub use crate::synth::{DatasetKind, SyntheticSpec};
+    pub use crate::types::{QuerySet, VectorDataset};
+}

@@ -1,0 +1,175 @@
+//! Recall metrics (R@K), the quality measure used throughout the paper.
+//!
+//! Following the paper (and Faiss), `R@K` is the fraction of queries whose
+//! *true nearest neighbour* appears somewhere in the K results returned —
+//! this is the "recall at K" the recall goals R@1=30%, R@10=80%, R@100=95%
+//! refer to. We additionally report *intersection recall* (how much of the
+//! exact top-K set is recovered), which some ANN papers call recall as well;
+//! the two agree for K=1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ground_truth::GroundTruth;
+
+/// Recall figures aggregated over a query set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecallReport {
+    /// The K used when producing the approximate results.
+    pub k: usize,
+    /// Fraction of queries whose true nearest neighbour is in the top-K
+    /// returned results (the paper's R@K).
+    pub recall_at_k: f64,
+    /// Average fraction of the exact top-K set recovered.
+    pub intersection_recall: f64,
+    /// Number of queries evaluated.
+    pub num_queries: usize,
+}
+
+impl RecallReport {
+    /// Whether the report satisfies a recall goal such as `0.8` for R@10=80%.
+    pub fn meets(&self, goal: f64) -> bool {
+        self.recall_at_k + 1e-12 >= goal
+    }
+}
+
+/// Computes recall of approximate `results` against the exact `ground_truth`.
+///
+/// `results[q]` holds the ids returned for query `q`, best first; lists may be
+/// shorter than K (e.g. when nprobe is tiny and fewer than K candidates were
+/// scanned).
+pub fn recall_at_k(results: &[Vec<usize>], ground_truth: &GroundTruth, k: usize) -> RecallReport {
+    assert_eq!(
+        results.len(),
+        ground_truth.num_queries(),
+        "result count does not match ground truth"
+    );
+    assert!(
+        k <= ground_truth.k(),
+        "ground truth only covers K={} but K={k} was requested",
+        ground_truth.k()
+    );
+    let mut nn_hits = 0usize;
+    let mut inter_sum = 0.0f64;
+    for (q, res) in results.iter().enumerate() {
+        let truth = &ground_truth.neighbors(q)[..k];
+        let returned = &res[..res.len().min(k)];
+        let true_nn = truth[0];
+        if returned.contains(&true_nn) {
+            nn_hits += 1;
+        }
+        let mut hits = 0usize;
+        for t in truth {
+            if returned.contains(t) {
+                hits += 1;
+            }
+        }
+        inter_sum += hits as f64 / k as f64;
+    }
+    let n = results.len();
+    RecallReport {
+        k,
+        recall_at_k: nn_hits as f64 / n as f64,
+        intersection_recall: inter_sum / n as f64,
+        num_queries: n,
+    }
+}
+
+/// One point on a recall-versus-parameter curve (e.g. recall vs nprobe).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecallPoint {
+    /// The swept parameter value (typically nprobe).
+    pub parameter: usize,
+    /// Measured recall at that parameter value.
+    pub recall: f64,
+}
+
+/// Builds a recall curve from per-parameter result sets.
+///
+/// `runs` maps a parameter value to the approximate results obtained with it.
+pub fn recall_curve(
+    runs: &[(usize, Vec<Vec<usize>>)],
+    ground_truth: &GroundTruth,
+    k: usize,
+) -> Vec<RecallPoint> {
+    runs.iter()
+        .map(|(param, results)| RecallPoint {
+            parameter: *param,
+            recall: recall_at_k(results, ground_truth, k).recall_at_k,
+        })
+        .collect()
+}
+
+/// Finds the smallest parameter value on a (monotonically improving) recall
+/// curve that meets `goal`, or `None` if the goal is unreachable.
+///
+/// This is step 3 of the FANNS workflow: "evaluate the minimum nprobe that can
+/// achieve the user-specified recall goal on each index".
+pub fn min_parameter_for_goal(curve: &[RecallPoint], goal: f64) -> Option<usize> {
+    curve
+        .iter()
+        .filter(|p| p.recall + 1e-12 >= goal)
+        .map(|p| p.parameter)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::ground_truth;
+    use crate::types::{QuerySet, VectorDataset};
+
+    fn setup() -> GroundTruth {
+        let db = VectorDataset::from_vectors(1, (0..10).map(|i| [i as f32]));
+        let queries = QuerySet::new(VectorDataset::from_vectors(1, [[0.1f32], [5.1]]));
+        ground_truth(&db, &queries, 3)
+    }
+
+    #[test]
+    fn perfect_results_give_full_recall() {
+        let gt = setup();
+        let results = vec![gt.neighbors(0).to_vec(), gt.neighbors(1).to_vec()];
+        let report = recall_at_k(&results, &gt, 3);
+        assert_eq!(report.recall_at_k, 1.0);
+        assert_eq!(report.intersection_recall, 1.0);
+        assert!(report.meets(0.95));
+    }
+
+    #[test]
+    fn missing_nearest_neighbor_reduces_recall() {
+        let gt = setup();
+        // First query misses its true NN (0), second query hits.
+        let results = vec![vec![1, 2, 3], gt.neighbors(1).to_vec()];
+        let report = recall_at_k(&results, &gt, 3);
+        assert!((report.recall_at_k - 0.5).abs() < 1e-12);
+        assert!(report.intersection_recall < 1.0);
+        assert!(!report.meets(0.8));
+    }
+
+    #[test]
+    fn short_result_lists_are_tolerated() {
+        let gt = setup();
+        let results = vec![vec![0], vec![5]];
+        let report = recall_at_k(&results, &gt, 3);
+        assert_eq!(report.recall_at_k, 1.0);
+        assert!((report.intersection_recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_curve_and_min_parameter() {
+        let gt = setup();
+        let poor = vec![vec![9], vec![9]];
+        let good = vec![gt.neighbors(0).to_vec(), gt.neighbors(1).to_vec()];
+        let curve = recall_curve(&[(1, poor), (8, good)], &gt, 1);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(min_parameter_for_goal(&curve, 0.9), Some(8));
+        assert_eq!(min_parameter_for_goal(&curve, 1.1), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn recall_requires_matching_query_count() {
+        let gt = setup();
+        let results = vec![vec![0]];
+        let _ = recall_at_k(&results, &gt, 1);
+    }
+}

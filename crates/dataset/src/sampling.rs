@@ -1,0 +1,116 @@
+//! Deterministic sampling helpers.
+//!
+//! Index training (k-means for the coarse quantizer and for the PQ
+//! sub-quantizers) never needs the full database; the paper's workflow trains
+//! on a sample and the user supplies a separate "sample query set" for the
+//! recall/nprobe exploration. These helpers produce those samples with
+//! explicit seeds.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::types::{QuerySet, VectorDataset};
+
+/// Draws `n` vectors uniformly at random (without replacement) for training.
+///
+/// If `n >= dataset.len()` the whole dataset is returned (in original order).
+pub fn sample_training_set(dataset: &VectorDataset, n: usize, seed: u64) -> VectorDataset {
+    if n >= dataset.len() {
+        return dataset.clone();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.shuffle(&mut rng);
+    indices.truncate(n);
+    indices.sort_unstable();
+    dataset.subset(&indices)
+}
+
+/// Splits a query set into a held-out exploration set (used to calibrate the
+/// recall–nprobe relationship) and a test set (used to report final numbers).
+pub fn split_queries(queries: &QuerySet, explore_fraction: f64, seed: u64) -> (QuerySet, QuerySet) {
+    assert!(
+        (0.0..=1.0).contains(&explore_fraction),
+        "explore_fraction must be in [0, 1]"
+    );
+    let n = queries.len();
+    let n_explore = ((n as f64) * explore_fraction).round() as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let (explore_idx, test_idx) = indices.split_at(n_explore.min(n));
+    let mut explore_idx = explore_idx.to_vec();
+    let mut test_idx = test_idx.to_vec();
+    explore_idx.sort_unstable();
+    test_idx.sort_unstable();
+    (
+        QuerySet::new(queries.as_dataset().subset(&explore_idx)),
+        QuerySet::new(queries.as_dataset().subset(&test_idx)),
+    )
+}
+
+/// Deterministically selects `n` evenly spaced vector ids, useful for building
+/// small smoke-test workloads out of a larger dataset.
+pub fn strided_indices(total: usize, n: usize) -> Vec<usize> {
+    if n == 0 || total == 0 {
+        return Vec::new();
+    }
+    if n >= total {
+        return (0..total).collect();
+    }
+    (0..n).map(|i| i * total / n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticSpec;
+
+    #[test]
+    fn training_sample_has_requested_size() {
+        let (db, _) = SyntheticSpec::sift_small(1).generate();
+        let sample = sample_training_set(&db, 100, 99);
+        assert_eq!(sample.len(), 100);
+        assert_eq!(sample.dim(), db.dim());
+    }
+
+    #[test]
+    fn training_sample_is_deterministic() {
+        let (db, _) = SyntheticSpec::sift_small(1).generate();
+        let a = sample_training_set(&db, 50, 7);
+        let b = sample_training_set(&db, 50, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversized_sample_returns_whole_dataset() {
+        let (db, _) = SyntheticSpec::sift_small(1).generate();
+        let sample = sample_training_set(&db, 10_000, 7);
+        assert_eq!(sample.len(), db.len());
+    }
+
+    #[test]
+    fn query_split_partitions_the_set() {
+        let (_, queries) = SyntheticSpec::sift_small(2).generate();
+        let (explore, test) = split_queries(&queries, 0.25, 3);
+        assert_eq!(explore.len() + test.len(), queries.len());
+        assert_eq!(explore.len(), 8);
+    }
+
+    #[test]
+    fn strided_indices_cover_range() {
+        let idx = strided_indices(100, 10);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx[0], 0);
+        assert!(idx.iter().all(|&i| i < 100));
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn strided_indices_degenerate_cases() {
+        assert!(strided_indices(0, 5).is_empty());
+        assert!(strided_indices(5, 0).is_empty());
+        assert_eq!(strided_indices(3, 10), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Core dataset containers.
+//!
+//! Vectors are stored in a single flat `Vec<f32>` in row-major order so that
+//! scanning a dataset is cache-friendly and trivially parallelisable with
+//! rayon. Every accessor hands out `&[f32]` slices; nothing in the workspace
+//! copies vectors unless it has to.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense collection of `d`-dimensional `f32` vectors stored row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorDataset {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VectorDataset {
+    /// Creates a dataset from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn new(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "vector dimensionality must be positive");
+        assert!(
+            data.len() % dim == 0,
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { dim, data }
+    }
+
+    /// Creates an empty dataset with the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        Self::new(dim, Vec::new())
+    }
+
+    /// Creates a dataset with capacity for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "vector dimensionality must be positive");
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
+    }
+
+    /// Builds a dataset from an iterator of vectors.
+    ///
+    /// # Panics
+    /// Panics if any vector's length differs from `dim`.
+    pub fn from_vectors<I, V>(dim: usize, vectors: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: AsRef<[f32]>,
+    {
+        let mut ds = Self::empty(dim);
+        for v in vectors {
+            ds.push(v.as_ref());
+        }
+        ds
+    }
+
+    /// Appends one vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dim()`.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector length mismatch");
+        self.data.extend_from_slice(v);
+    }
+
+    /// Appends all vectors of `other`.
+    ///
+    /// # Panics
+    /// Panics if dimensionalities differ.
+    pub fn extend_from(&mut self, other: &VectorDataset) {
+        assert_eq!(self.dim, other.dim, "dimensionality mismatch");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Number of vectors stored.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the dataset holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow vector `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat buffer (used by in-place transforms such as
+    /// the OPQ rotation).
+    pub fn as_flat_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Iterator over vector slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Returns a new dataset containing the vectors at `indices`.
+    pub fn subset(&self, indices: &[usize]) -> VectorDataset {
+        let mut out = VectorDataset::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// Splits the dataset into `parts` contiguous shards whose sizes differ by
+    /// at most one vector. Used by the scale-out experiments where each
+    /// accelerator hosts one partition.
+    pub fn shard(&self, parts: usize) -> Vec<VectorDataset> {
+        assert!(parts > 0, "must request at least one shard");
+        let n = self.len();
+        let base = n / parts;
+        let rem = n % parts;
+        let mut shards = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 0..parts {
+            let size = base + usize::from(p < rem);
+            let mut shard = VectorDataset::with_capacity(self.dim, size);
+            for i in start..start + size {
+                shard.push(self.get(i));
+            }
+            start += size;
+            shards.push(shard);
+        }
+        shards
+    }
+
+    /// Total memory footprint of the raw vectors in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// A single query vector together with its identifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Position of the query within its [`QuerySet`].
+    pub id: usize,
+    /// The query vector.
+    pub vector: Vec<f32>,
+}
+
+/// A set of query vectors, stored exactly like a [`VectorDataset`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySet {
+    vectors: VectorDataset,
+}
+
+impl QuerySet {
+    /// Wraps a dataset as a query set.
+    pub fn new(vectors: VectorDataset) -> Self {
+        Self { vectors }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Query dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    /// Borrow query `i` as a slice.
+    pub fn get(&self, i: usize) -> &[f32] {
+        self.vectors.get(i)
+    }
+
+    /// Materialise query `i` as an owned [`Query`].
+    pub fn query(&self, i: usize) -> Query {
+        Query {
+            id: i,
+            vector: self.vectors.get(i).to_vec(),
+        }
+    }
+
+    /// Iterator over query slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        self.vectors.iter()
+    }
+
+    /// The underlying dataset.
+    pub fn as_dataset(&self) -> &VectorDataset {
+        &self.vectors
+    }
+}
+
+impl From<VectorDataset> for QuerySet {
+    fn from(v: VectorDataset) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> VectorDataset {
+        VectorDataset::from_vectors(2, [[0.0f32, 1.0], [2.0, 3.0], [4.0, 5.0]])
+    }
+
+    #[test]
+    fn new_rejects_misaligned_buffer() {
+        let result = std::panic::catch_unwind(|| VectorDataset::new(3, vec![1.0; 4]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let ds = small();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.get(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn iter_visits_all_rows() {
+        let ds = small();
+        let rows: Vec<&[f32]> = ds.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn subset_selects_rows_in_order() {
+        let ds = small();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get(0), &[4.0, 5.0]);
+        assert_eq!(sub.get(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn shard_sizes_are_balanced() {
+        let ds = VectorDataset::from_vectors(1, (0..10).map(|i| [i as f32]));
+        let shards = ds.shard(3);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(shards[0].get(0), &[0.0]);
+        assert_eq!(shards[2].get(2), &[9.0]);
+    }
+
+    #[test]
+    fn shard_preserves_all_vectors() {
+        let ds = VectorDataset::from_vectors(1, (0..17).map(|i| [i as f32]));
+        let shards = ds.shard(4);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 17);
+    }
+
+    #[test]
+    fn queryset_wraps_dataset() {
+        let qs = QuerySet::new(small());
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs.query(2).vector, vec![4.0, 5.0]);
+        assert_eq!(qs.query(2).id, 2);
+    }
+
+    #[test]
+    fn nbytes_counts_f32s() {
+        let ds = small();
+        assert_eq!(ds.nbytes(), 3 * 2 * 4);
+    }
+}

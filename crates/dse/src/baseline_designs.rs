@@ -1,0 +1,89 @@
+//! Parameter-independent baseline accelerators (§7.2.3).
+//!
+//! The paper's FPGA baseline is a set of hand-balanced designs — one per K —
+//! that must serve queries on *arbitrary* indexes, so they spread resources
+//! across the stages rather than specialising for one parameter setting.
+//! These are the designs the FANNS-generated accelerators are compared
+//! against in Figure 10 (the 1.3×–23× speedups).
+
+use fanns_hwsim::config::{AcceleratorConfig, IndexStore, SelectArch, StageSizing};
+
+/// Returns the hand-crafted parameter-independent design for a given `K`,
+/// mirroring the "Baseline" rows of Table 4:
+///
+/// * the IVF index and PQ codebooks stay in HBM (they must handle any nlist),
+/// * PQDist and SelK budgets are balanced against each other, and shrink as
+///   K grows because longer priority queues eat the LUT budget,
+/// * Stage OPQ gets one PE (it is nearly free) so OPQ indexes still work.
+pub fn baseline_design_for_k(k: usize, freq_mhz: f64) -> AcceleratorConfig {
+    let (pq_dist_pes, sel_k_arch) = if k <= 1 {
+        (36, SelectArch::Hpq)
+    } else if k <= 10 {
+        (16, SelectArch::Hpq)
+    } else {
+        (4, SelectArch::Hpq)
+    };
+    AcceleratorConfig {
+        sizing: StageSizing {
+            opq_pes: 1,
+            ivf_dist_pes: 10,
+            build_lut_pes: if k <= 1 { 5 } else { 4 },
+            pq_dist_pes,
+        },
+        sel_cells_arch: SelectArch::Hpq,
+        sel_k_arch,
+        ivf_store: IndexStore::Hbm,
+        lut_store: IndexStore::Hbm,
+        freq_mhz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_perfmodel::device::FpgaDevice;
+    use fanns_perfmodel::resources::{design_resources, DesignContext};
+
+    fn ctx(k: usize) -> DesignContext {
+        DesignContext {
+            dim: 128,
+            m: 16,
+            ksub: 256,
+            nlist: 1 << 15,
+            nprobe: 32,
+            k,
+            with_network_stack: false,
+        }
+    }
+
+    #[test]
+    fn baseline_designs_fit_the_u55c_for_all_k() {
+        let device = FpgaDevice::alveo_u55c();
+        for k in [1, 10, 100] {
+            let design = baseline_design_for_k(k, device.target_freq_mhz);
+            let usage = design_resources(&design, &ctx(k));
+            assert!(
+                usage.fits_within(&device.budget()),
+                "baseline design for K={k} does not fit"
+            );
+        }
+    }
+
+    #[test]
+    fn pqdist_budget_shrinks_as_k_grows() {
+        let k1 = baseline_design_for_k(1, 140.0);
+        let k10 = baseline_design_for_k(10, 140.0);
+        let k100 = baseline_design_for_k(100, 140.0);
+        assert!(k1.sizing.pq_dist_pes > k10.sizing.pq_dist_pes);
+        assert!(k10.sizing.pq_dist_pes > k100.sizing.pq_dist_pes);
+    }
+
+    #[test]
+    fn baselines_keep_index_in_hbm() {
+        for k in [1, 10, 100] {
+            let d = baseline_design_for_k(k, 140.0);
+            assert_eq!(d.ivf_store, IndexStore::Hbm);
+            assert_eq!(d.lut_store, IndexStore::Hbm);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Index exploration: the algorithm-parameter half of the co-design.
+//!
+//! For each candidate `nlist` (and with/without OPQ), an index is trained on
+//! the dataset and the recall–nprobe relationship is measured on a sample
+//! query set. The output — one `(index, minimum nprobe)` pair per index that
+//! can reach the recall goal — feeds the performance model (steps 2–3 of the
+//! FANNS workflow).
+
+use serde::{Deserialize, Serialize};
+
+use fanns_dataset::ground_truth::GroundTruth;
+use fanns_dataset::recall::recall_at_k;
+use fanns_dataset::types::{QuerySet, VectorDataset};
+use fanns_ivf::baseline_cpu::CpuSearcher;
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::params::IvfPqParams;
+
+/// Configuration for the index exploration sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexExplorerConfig {
+    /// Candidate cell counts (the paper sweeps 2^10 … 2^18; scaled-down
+    /// datasets use proportionally smaller grids).
+    pub nlist_grid: Vec<usize>,
+    /// Whether to also train an OPQ variant of every index.
+    pub try_opq: bool,
+    /// PQ sub-quantizer count.
+    pub m: usize,
+    /// PQ codebook size.
+    pub ksub: usize,
+    /// Candidate nprobe values to evaluate (must be sorted ascending).
+    pub nprobe_grid: Vec<usize>,
+    /// Number of results per query used for the recall target.
+    pub k: usize,
+    /// Recall goal in [0, 1] (e.g. 0.8 for R@10=80 %).
+    pub recall_goal: f64,
+    /// Training sample size.
+    pub train_sample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl IndexExplorerConfig {
+    /// A small exploration grid appropriate for the laptop-scale synthetic
+    /// datasets (≤1M vectors).
+    pub fn laptop_scale(k: usize, recall_goal: f64) -> Self {
+        Self {
+            nlist_grid: vec![64, 128, 256, 512],
+            try_opq: true,
+            m: 16,
+            ksub: 256,
+            nprobe_grid: vec![1, 2, 4, 8, 16, 32, 64],
+            k,
+            recall_goal,
+            train_sample: 20_000,
+            seed: 0xD5E,
+        }
+    }
+
+    /// A minimal grid for unit tests. The quantizer stays reasonably fine
+    /// (m=16, 64-entry codebooks) so that recall on the 1 000-vector test
+    /// datasets is limited by nprobe rather than by quantization error.
+    pub fn tiny(k: usize, recall_goal: f64) -> Self {
+        Self {
+            nlist_grid: vec![8, 16],
+            try_opq: false,
+            m: 16,
+            ksub: 64,
+            nprobe_grid: vec![1, 2, 4, 8, 16],
+            k,
+            recall_goal,
+            train_sample: 2_000,
+            seed: 0xD5E,
+        }
+    }
+}
+
+/// One index that can reach the recall goal, with the minimum nprobe found.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexCandidate {
+    /// The trained, populated index.
+    pub index: IvfPqIndex,
+    /// The smallest nprobe (from the grid) that meets the recall goal.
+    pub min_nprobe: usize,
+    /// The recall measured at `min_nprobe`.
+    pub achieved_recall: f64,
+    /// Recall at each evaluated nprobe (nprobe, recall) — the recall curve.
+    pub recall_curve: Vec<(usize, f64)>,
+}
+
+impl IndexCandidate {
+    /// Short label such as `OPQ+IVF256`.
+    pub fn label(&self) -> String {
+        if self.index.has_opq() {
+            format!("OPQ+IVF{}", self.index.nlist())
+        } else {
+            format!("IVF{}", self.index.nlist())
+        }
+    }
+}
+
+/// Measures the recall of `index` at each nprobe in `grid` and returns the
+/// curve plus the minimum nprobe achieving `goal` (if any).
+pub fn recall_vs_nprobe(
+    index: &IvfPqIndex,
+    queries: &QuerySet,
+    ground_truth: &GroundTruth,
+    grid: &[usize],
+    k: usize,
+    goal: f64,
+) -> (Vec<(usize, f64)>, Option<(usize, f64)>) {
+    let mut curve = Vec::with_capacity(grid.len());
+    let mut found: Option<(usize, f64)> = None;
+    for &nprobe in grid {
+        let params = IvfPqParams::new(index.nlist(), nprobe, k).with_m(index.m()).with_opq(index.has_opq());
+        let searcher = CpuSearcher::new(index, params);
+        let results = searcher.search_batch(queries);
+        let report = recall_at_k(&CpuSearcher::ids_only(&results), ground_truth, k);
+        curve.push((nprobe, report.recall_at_k));
+        if found.is_none() && report.recall_at_k + 1e-12 >= goal {
+            found = Some((nprobe, report.recall_at_k));
+            // Recall is monotone in nprobe, so later grid points only cost time.
+            break;
+        }
+    }
+    (curve, found)
+}
+
+/// Trains every index in the grid and returns those able to reach the goal.
+///
+/// This is the expensive step of the workflow (Table 3: "several hours per
+/// index" at 100M scale); at the laptop scale used here it takes seconds.
+pub fn explore_indexes(
+    database: &VectorDataset,
+    queries: &QuerySet,
+    ground_truth: &GroundTruth,
+    config: &IndexExplorerConfig,
+) -> Vec<IndexCandidate> {
+    let mut candidates = Vec::new();
+    let opq_options: Vec<bool> = if config.try_opq { vec![false, true] } else { vec![false] };
+    for &nlist in &config.nlist_grid {
+        for &opq in &opq_options {
+            let train = IvfPqTrainConfig::new(nlist)
+                .with_m(config.m)
+                .with_ksub(config.ksub)
+                .with_opq(opq)
+                .with_train_sample(config.train_sample)
+                .with_seed(config.seed ^ (nlist as u64) ^ ((opq as u64) << 32));
+            let index = IvfPqIndex::build(database, &train);
+            let (curve, found) = recall_vs_nprobe(
+                &index,
+                queries,
+                ground_truth,
+                &config.nprobe_grid,
+                config.k,
+                config.recall_goal,
+            );
+            if let Some((min_nprobe, achieved_recall)) = found {
+                candidates.push(IndexCandidate {
+                    index,
+                    min_nprobe,
+                    achieved_recall,
+                    recall_curve: curve,
+                });
+            }
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::ground_truth::ground_truth;
+    use fanns_dataset::synth::SyntheticSpec;
+
+    fn setup() -> (VectorDataset, QuerySet, GroundTruth) {
+        let (db, queries) = SyntheticSpec::sift_small(61).generate();
+        let gt = ground_truth(&db, &queries, 10);
+        (db, queries, gt)
+    }
+
+    #[test]
+    fn explorer_finds_candidates_for_a_modest_goal() {
+        let (db, queries, gt) = setup();
+        let cfg = IndexExplorerConfig::tiny(10, 0.5);
+        let candidates = explore_indexes(&db, &queries, &gt, &cfg);
+        assert!(!candidates.is_empty(), "no index reached a 50% recall goal");
+        for c in &candidates {
+            assert!(c.achieved_recall >= 0.5);
+            assert!(cfg.nprobe_grid.contains(&c.min_nprobe));
+            assert!(!c.recall_curve.is_empty());
+        }
+    }
+
+    #[test]
+    fn impossible_goal_yields_no_candidates() {
+        let (db, queries, gt) = setup();
+        let mut cfg = IndexExplorerConfig::tiny(10, 1.01);
+        cfg.nlist_grid = vec![8];
+        let candidates = explore_indexes(&db, &queries, &gt, &cfg);
+        assert!(candidates.is_empty());
+    }
+
+    #[test]
+    fn recall_curve_improves_with_nprobe() {
+        // Recall under ADC distances is not strictly monotone in nprobe
+        // (extra candidates carry quantization noise), but scanning every
+        // cell must do at least as well as scanning one, minus a small slack.
+        let (db, queries, gt) = setup();
+        let train = IvfPqTrainConfig::new(16).with_m(16).with_ksub(64).with_train_sample(1_000);
+        let index = IvfPqIndex::build(&db, &train);
+        let (curve, _) = recall_vs_nprobe(&index, &queries, &gt, &[1, 4, 16], 10, 2.0);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[2].1 + 0.05 >= curve[0].1);
+        assert!(curve[2].1 > 0.5, "full-probe recall unexpectedly low: {}", curve[2].1);
+    }
+
+    #[test]
+    fn candidate_labels_follow_paper_convention() {
+        let (db, queries, gt) = setup();
+        let cfg = IndexExplorerConfig::tiny(10, 0.3);
+        let candidates = explore_indexes(&db, &queries, &gt, &cfg);
+        for c in candidates {
+            assert!(c.label().starts_with("IVF"));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Design-space exploration — the hardware–algorithm co-design core of FANNS.
+//!
+//! This crate implements steps 2, 3 and 5 of the workflow in Figure 4:
+//!
+//! * [`index_explorer`] — train a family of indexes over a grid of `nlist`
+//!   (with and without OPQ) and, for each, find the minimum `nprobe` that
+//!   reaches the user's recall goal on a sample query set,
+//! * [`optimizer`] — cross every qualifying (index, nprobe) pair with every
+//!   valid hardware design from the enumerator and pick the combination with
+//!   the highest predicted QPS,
+//! * [`baseline_designs`] — the parameter-independent accelerators used as
+//!   the FPGA baseline in §7.2.3,
+//! * [`report`] — Table-4-style textual reports of the chosen designs.
+
+pub mod baseline_designs;
+pub mod index_explorer;
+pub mod optimizer;
+pub mod report;
+
+pub use baseline_designs::baseline_design_for_k;
+pub use index_explorer::{explore_indexes, IndexCandidate, IndexExplorerConfig};
+pub use optimizer::{co_design, CoDesignChoice, CoDesignConfig};
+pub use report::{design_table, DesignRow};

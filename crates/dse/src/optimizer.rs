@@ -1,0 +1,165 @@
+//! The co-design optimizer (step 5 of the workflow).
+//!
+//! The optimizer takes (a) the index candidates produced by the index
+//! explorer — each an `(index, minimum nprobe)` pair that meets the recall
+//! goal — and (b) the set of valid hardware designs from the enumerator, and
+//! evaluates the QPS performance model on the full cross product, returning
+//! the best combination. This is the "millions of combinations within an
+//! hour" step of §6.3; at our grid sizes it takes milliseconds.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use fanns_hwsim::config::AcceleratorConfig;
+use fanns_ivf::params::IvfPqParams;
+use fanns_perfmodel::device::FpgaDevice;
+use fanns_perfmodel::enumerate::{enumerate_designs, EnumerationSpace};
+use fanns_perfmodel::qps::{predict_qps, QpsPrediction, WorkloadModel};
+use fanns_perfmodel::resources::DesignContext;
+
+use crate::index_explorer::IndexCandidate;
+
+/// Configuration of the co-design search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoDesignConfig {
+    /// Number of results per query (K of the recall goal).
+    pub k: usize,
+    /// The hardware enumeration grid.
+    pub space: EnumerationSpace,
+    /// Whether the accelerator carries a network stack (scale-out mode).
+    pub with_network_stack: bool,
+}
+
+impl CoDesignConfig {
+    /// Standard search for a given K.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            space: EnumerationSpace::standard(),
+            with_network_stack: false,
+        }
+    }
+
+    /// Reduced search for unit tests.
+    pub fn small(k: usize) -> Self {
+        Self {
+            k,
+            space: EnumerationSpace::small(),
+            with_network_stack: false,
+        }
+    }
+}
+
+/// The chosen combination of algorithm parameters and hardware design.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoDesignChoice {
+    /// Index label (e.g. `OPQ+IVF8192`).
+    pub index_label: String,
+    /// Position of the winning index in the candidate list passed in.
+    pub candidate_idx: usize,
+    /// The query-time parameters to deploy.
+    pub params: IvfPqParams,
+    /// The winning hardware design.
+    pub design: AcceleratorConfig,
+    /// The performance model's prediction for the winning combination.
+    pub prediction: QpsPrediction,
+    /// Number of (parameter, design) combinations evaluated.
+    pub combinations_evaluated: usize,
+}
+
+/// Evaluates every (candidate × design) combination and returns the best, or
+/// `None` when no candidate/design combination exists.
+pub fn co_design(
+    candidates: &[IndexCandidate],
+    device: &FpgaDevice,
+    config: &CoDesignConfig,
+) -> Option<CoDesignChoice> {
+    let mut best: Option<CoDesignChoice> = None;
+    let mut total_combinations = 0usize;
+
+    for (ci, candidate) in candidates.iter().enumerate() {
+        let index = &candidate.index;
+        let params = IvfPqParams::new(index.nlist(), candidate.min_nprobe, config.k)
+            .with_m(index.m())
+            .with_opq(index.has_opq());
+        let ctx = DesignContext {
+            dim: index.dim(),
+            m: index.m(),
+            ksub: index.pq().ksub(),
+            nlist: index.nlist(),
+            nprobe: params.effective_nprobe(),
+            k: config.k,
+            with_network_stack: config.with_network_stack,
+        };
+        let designs = enumerate_designs(&config.space, device, &ctx, index.has_opq());
+        total_combinations += designs.len();
+        let workload = WorkloadModel::from_index(index, &params);
+
+        let best_for_candidate = designs
+            .par_iter()
+            .map(|design| (*design, predict_qps(&workload, design)))
+            .max_by(|a, b| a.1.qps.partial_cmp(&b.1.qps).unwrap_or(std::cmp::Ordering::Equal));
+
+        if let Some((design, prediction)) = best_for_candidate {
+            let better = match &best {
+                None => true,
+                Some(current) => prediction.qps > current.prediction.qps,
+            };
+            if better {
+                best = Some(CoDesignChoice {
+                    index_label: candidate.label(),
+                    candidate_idx: ci,
+                    params,
+                    design,
+                    prediction,
+                    combinations_evaluated: 0,
+                });
+            }
+        }
+    }
+
+    best.map(|mut choice| {
+        choice.combinations_evaluated = total_combinations;
+        choice
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_explorer::{explore_indexes, IndexExplorerConfig};
+    use fanns_dataset::ground_truth::ground_truth;
+    use fanns_dataset::synth::SyntheticSpec;
+
+    fn candidates() -> Vec<IndexCandidate> {
+        let (db, queries) = SyntheticSpec::sift_small(71).generate();
+        let gt = ground_truth(&db, &queries, 10);
+        explore_indexes(&db, &queries, &gt, &IndexExplorerConfig::tiny(10, 0.5))
+    }
+
+    #[test]
+    fn co_design_picks_the_highest_predicted_qps() {
+        let cands = candidates();
+        assert!(!cands.is_empty());
+        let choice = co_design(&cands, &FpgaDevice::alveo_u55c(), &CoDesignConfig::small(10)).unwrap();
+        assert!(choice.prediction.qps > 0.0);
+        assert!(choice.combinations_evaluated > 0);
+        assert!(choice.candidate_idx < cands.len());
+        // The chosen nprobe must be the candidate's minimum nprobe.
+        assert_eq!(choice.params.nprobe, cands[choice.candidate_idx].min_nprobe);
+    }
+
+    #[test]
+    fn empty_candidate_list_returns_none() {
+        let choice = co_design(&[], &FpgaDevice::alveo_u55c(), &CoDesignConfig::small(10));
+        assert!(choice.is_none());
+    }
+
+    #[test]
+    fn larger_k_reduces_predicted_qps() {
+        let cands = candidates();
+        let small_k = co_design(&cands, &FpgaDevice::alveo_u55c(), &CoDesignConfig::small(1)).unwrap();
+        let large_k = co_design(&cands, &FpgaDevice::alveo_u55c(), &CoDesignConfig::small(100)).unwrap();
+        assert!(large_k.prediction.qps <= small_k.prediction.qps);
+    }
+}

@@ -1,0 +1,146 @@
+//! Table-4-style design reports.
+//!
+//! The paper's Table 4 compares the baseline and the FANNS-generated designs
+//! per recall goal: the index chosen, the nprobe, the per-stage architecture
+//! and PE counts, the per-stage LUT share and the predicted QPS. [`DesignRow`]
+//! captures one such row and [`design_table`] renders a set of rows as an
+//! aligned text table for the benchmark harnesses.
+
+use serde::{Deserialize, Serialize};
+
+use fanns_hwsim::config::AcceleratorConfig;
+use fanns_perfmodel::device::FpgaDevice;
+use fanns_perfmodel::resources::{resource_report, DesignContext};
+
+/// One row of the design-comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignRow {
+    /// Row label, e.g. `K=10 (FANNS)` or `K=10 (Baseline)`.
+    pub label: String,
+    /// Index label, e.g. `OPQ+IVF8192`, or `N/A` for parameter-independent designs.
+    pub index_label: String,
+    /// The deployed nprobe (None for parameter-independent designs).
+    pub nprobe: Option<usize>,
+    /// The hardware design.
+    pub design: AcceleratorConfig,
+    /// Per-stage LUT share of the device (pipeline order).
+    pub stage_lut_fraction: [f64; 6],
+    /// Predicted QPS (None when not applicable).
+    pub predicted_qps: Option<f64>,
+}
+
+impl DesignRow {
+    /// Builds a row, computing the per-stage resource shares on `device`.
+    pub fn new(
+        label: impl Into<String>,
+        index_label: impl Into<String>,
+        nprobe: Option<usize>,
+        design: AcceleratorConfig,
+        ctx: &DesignContext,
+        device: &FpgaDevice,
+        predicted_qps: Option<f64>,
+    ) -> Self {
+        let report = resource_report(&design, ctx, device);
+        Self {
+            label: label.into(),
+            index_label: index_label.into(),
+            nprobe,
+            design,
+            stage_lut_fraction: report.stage_lut_fraction,
+            predicted_qps,
+        }
+    }
+}
+
+/// Renders rows as an aligned text table (stage LUT % in pipeline order).
+pub fn design_table(rows: &[DesignRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<14} {:>7} {:>5} {:>5} {:>5} {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "design", "index", "nprobe", "#OPQ", "#IVF", "#LUT", "#PQD", "OPQ%", "IVFDist%", "SelCell%",
+        "BuildLUT%", "PQDist%", "SelK%", "pred.QPS"
+    ));
+    for r in rows {
+        let f = r.stage_lut_fraction;
+        out.push_str(&format!(
+            "{:<22} {:<14} {:>7} {:>5} {:>5} {:>5} {:>5} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>10}\n",
+            r.label,
+            r.index_label,
+            r.nprobe.map_or("N/A".to_string(), |n| n.to_string()),
+            r.design.sizing.opq_pes,
+            r.design.sizing.ivf_dist_pes,
+            r.design.sizing.build_lut_pes,
+            r.design.sizing.pq_dist_pes,
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0,
+            f[4] * 100.0,
+            f[5] * 100.0,
+            r.predicted_qps
+                .map_or("N/A".to_string(), |q| format!("{q:.0}")),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_designs::baseline_design_for_k;
+
+    fn ctx() -> DesignContext {
+        DesignContext {
+            dim: 128,
+            m: 16,
+            ksub: 256,
+            nlist: 8192,
+            nprobe: 17,
+            k: 10,
+            with_network_stack: false,
+        }
+    }
+
+    #[test]
+    fn rows_render_into_a_table() {
+        let device = FpgaDevice::alveo_u55c();
+        let row = DesignRow::new(
+            "K=10 (Baseline)",
+            "N/A",
+            None,
+            baseline_design_for_k(10, 140.0),
+            &ctx(),
+            &device,
+            None,
+        );
+        let row2 = DesignRow::new(
+            "K=10 (FANNS)",
+            "OPQ+IVF8192",
+            Some(17),
+            baseline_design_for_k(10, 140.0),
+            &ctx(),
+            &device,
+            Some(11_098.0),
+        );
+        let table = design_table(&[row, row2]);
+        assert!(table.contains("K=10 (Baseline)"));
+        assert!(table.contains("OPQ+IVF8192"));
+        assert!(table.contains("11098"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn stage_fractions_are_populated() {
+        let device = FpgaDevice::alveo_u55c();
+        let row = DesignRow::new(
+            "x",
+            "IVF1024",
+            Some(4),
+            baseline_design_for_k(1, 140.0),
+            &ctx(),
+            &device,
+            Some(1.0),
+        );
+        assert!(row.stage_lut_fraction.iter().sum::<f64>() > 0.0);
+    }
+}

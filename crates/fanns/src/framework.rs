@@ -1,0 +1,283 @@
+//! The end-to-end FANNS workflow (Figure 4, steps 1–7).
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use fanns_codegen::emit::emit_kernel_plan;
+use fanns_codegen::plan::{instantiate, AcceleratorPlan};
+use fanns_dataset::ground_truth::ground_truth;
+use fanns_dataset::types::{QuerySet, VectorDataset};
+use fanns_dse::index_explorer::{explore_indexes, IndexCandidate, IndexExplorerConfig};
+use fanns_dse::optimizer::{co_design, CoDesignChoice, CoDesignConfig};
+use fanns_hwsim::accelerator::SimulationReport;
+use fanns_perfmodel::device::FpgaDevice;
+
+/// Everything the user provides: the recall goal and the deployment target
+/// (step 1 of the workflow).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FannsRequest {
+    /// Number of results per query the recall goal refers to.
+    pub k: usize,
+    /// The recall goal in [0, 1] (e.g. 0.8 for "R@10 = 80 %").
+    pub recall_goal: f64,
+    /// The target FPGA device.
+    pub device: FpgaDevice,
+    /// Index exploration grid (step 2).
+    pub explorer: IndexExplorerConfig,
+    /// Hardware/co-design search configuration (steps 4–5).
+    pub co_design: CoDesignConfig,
+    /// Whether the generated accelerator carries a network stack.
+    pub with_network_stack: bool,
+}
+
+impl FannsRequest {
+    /// Builds a request for a recall goal, with defaults sized for the
+    /// laptop-scale synthetic datasets.
+    pub fn recall_goal(k: usize, recall_goal: f64) -> Self {
+        Self {
+            k,
+            recall_goal,
+            device: FpgaDevice::alveo_u55c(),
+            explorer: IndexExplorerConfig::laptop_scale(k, recall_goal),
+            co_design: CoDesignConfig::new(k),
+            with_network_stack: false,
+        }
+    }
+
+    /// Shrinks the exploration grids to laptop scale (the default).
+    pub fn laptop_scale(mut self) -> Self {
+        self.explorer = IndexExplorerConfig::laptop_scale(self.k, self.recall_goal);
+        self
+    }
+
+    /// Shrinks the exploration grids to unit-test scale.
+    pub fn test_scale(mut self) -> Self {
+        self.explorer = IndexExplorerConfig::tiny(self.k, self.recall_goal);
+        self.co_design = CoDesignConfig::small(self.k);
+        self
+    }
+
+    /// Attaches a hardware network stack to the generated accelerator.
+    pub fn with_network_stack(mut self, enabled: bool) -> Self {
+        self.with_network_stack = enabled;
+        self.co_design.with_network_stack = enabled;
+        self
+    }
+}
+
+/// Wall-clock timing of each workflow step (the reproduction's Table 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowTimings {
+    /// Ground-truth computation time (not counted by the paper, reported for
+    /// completeness).
+    pub ground_truth: Duration,
+    /// "Build indexes" + "get recall-nprobe relationship" (steps 2–3).
+    pub explore_indexes: Duration,
+    /// "Predict optimal design" (steps 4–5).
+    pub predict_design: Duration,
+    /// "FPGA code generation" (step 6).
+    pub code_generation: Duration,
+    /// "Bitstream generation" — here, simulator instantiation (step 7).
+    pub instantiate: Duration,
+}
+
+/// Errors produced by the end-to-end workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FannsError {
+    /// No trained index reached the recall goal with any explored nprobe.
+    RecallGoalUnreachable {
+        /// The requested goal.
+        goal: f64,
+    },
+    /// No hardware design fits the device for any qualifying index.
+    NoFeasibleDesign,
+    /// The chosen design could not be instantiated against the index.
+    Instantiation(String),
+}
+
+impl std::fmt::Display for FannsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FannsError::RecallGoalUnreachable { goal } => {
+                write!(f, "no explored index reaches the recall goal {goal}")
+            }
+            FannsError::NoFeasibleDesign => write!(f, "no hardware design fits the device"),
+            FannsError::Instantiation(msg) => write!(f, "accelerator instantiation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FannsError {}
+
+/// The product of a successful co-design run.
+#[derive(Debug)]
+pub struct GeneratedAccelerator {
+    /// The winning combination of parameters and hardware design.
+    pub choice: CoDesignChoice,
+    /// The index the accelerator serves (owned; the "database loaded in HBM").
+    pub index: fanns_ivf::index::IvfPqIndex,
+    /// All index candidates that met the recall goal (for reporting).
+    pub candidates_summary: Vec<(String, usize, f64)>,
+    /// The build plan (params + design + prediction).
+    pub plan: AcceleratorPlan,
+    /// The emitted structural kernel plan (pseudo-HLS text).
+    pub kernel_plan: String,
+    /// Per-step wall-clock timings (Table 3).
+    pub timings: WorkflowTimings,
+}
+
+impl GeneratedAccelerator {
+    /// Simulates a batch of queries on the generated accelerator.
+    pub fn simulate(&self, queries: &QuerySet) -> SimulationReport {
+        let accelerator =
+            instantiate(&self.plan, &self.index).expect("plan was validated during generation");
+        accelerator.simulate_batch(queries, false)
+    }
+
+    /// One-paragraph human-readable summary of the outcome.
+    pub fn summary(&self) -> String {
+        format!(
+            "FANNS chose {} with nprobe={} on a design [{}]; predicted {:.0} QPS (bottleneck: {}), {} combinations evaluated",
+            self.choice.index_label,
+            self.choice.params.nprobe,
+            self.choice.design.summary(),
+            self.choice.prediction.qps,
+            self.choice.prediction.bottleneck.name(),
+            self.choice.combinations_evaluated
+        )
+    }
+}
+
+/// The framework entry point.
+#[derive(Debug, Clone)]
+pub struct Fanns {
+    request: FannsRequest,
+}
+
+impl Fanns {
+    /// Creates a framework instance for a request.
+    pub fn new(request: FannsRequest) -> Self {
+        Self { request }
+    }
+
+    /// The bound request.
+    pub fn request(&self) -> &FannsRequest {
+        &self.request
+    }
+
+    /// Runs the full workflow: explore indexes, enumerate designs, predict the
+    /// optimum, generate and "compile" the accelerator.
+    pub fn run(
+        &self,
+        database: &VectorDataset,
+        sample_queries: &QuerySet,
+    ) -> Result<GeneratedAccelerator, FannsError> {
+        let mut timings = WorkflowTimings::default();
+        let req = &self.request;
+
+        // Ground truth for the recall evaluation on the sample query set.
+        let t = Instant::now();
+        let gt = ground_truth(database, sample_queries, req.k);
+        timings.ground_truth = t.elapsed();
+
+        // Steps 2–3: index exploration.
+        let t = Instant::now();
+        let mut candidates: Vec<IndexCandidate> =
+            explore_indexes(database, sample_queries, &gt, &req.explorer);
+        timings.explore_indexes = t.elapsed();
+        if candidates.is_empty() {
+            return Err(FannsError::RecallGoalUnreachable {
+                goal: req.recall_goal,
+            });
+        }
+
+        // Steps 4–5: hardware enumeration + QPS prediction.
+        let t = Instant::now();
+        let choice = co_design(&candidates, &req.device, &req.co_design)
+            .ok_or(FannsError::NoFeasibleDesign)?;
+        timings.predict_design = t.elapsed();
+
+        let candidates_summary: Vec<(String, usize, f64)> = candidates
+            .iter()
+            .map(|c| (c.label(), c.min_nprobe, c.achieved_recall))
+            .collect();
+        let winning_index = candidates.swap_remove(choice.candidate_idx).index;
+
+        // Step 6: code generation.
+        let t = Instant::now();
+        let plan = AcceleratorPlan::new(
+            format!("fanns_k{}_r{:.0}", req.k, req.recall_goal * 100.0),
+            choice.index_label.clone(),
+            choice.params,
+            choice.design,
+            Some(choice.prediction),
+        )
+        .with_network_stack(req.with_network_stack);
+        let kernel_plan = emit_kernel_plan(&plan);
+        timings.code_generation = t.elapsed();
+
+        // Step 7: "compilation" — validate instantiation against the index.
+        let t = Instant::now();
+        instantiate(&plan, &winning_index).map_err(|e| FannsError::Instantiation(e.to_string()))?;
+        timings.instantiate = t.elapsed();
+
+        Ok(GeneratedAccelerator {
+            choice,
+            index: winning_index,
+            candidates_summary,
+            plan,
+            kernel_plan,
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::synth::SyntheticSpec;
+
+    fn small_run(k: usize, goal: f64) -> Result<GeneratedAccelerator, FannsError> {
+        let (db, queries) = SyntheticSpec::sift_small(101).generate();
+        let request = FannsRequest::recall_goal(k, goal).test_scale();
+        Fanns::new(request).run(&db, &queries)
+    }
+
+    #[test]
+    fn end_to_end_workflow_generates_an_accelerator() {
+        let generated = small_run(10, 0.35).expect("co-design should succeed at a 35% recall goal");
+        assert!(generated.choice.prediction.qps > 0.0);
+        assert!(!generated.kernel_plan.is_empty());
+        assert!(!generated.candidates_summary.is_empty());
+        assert!(generated.summary().contains("FANNS chose"));
+        // The chosen parameters reach the recall goal by construction.
+        let (_, nprobe, recall) = &generated.candidates_summary[0];
+        assert!(*nprobe >= 1);
+        assert!(*recall >= 0.0);
+    }
+
+    #[test]
+    fn generated_accelerator_can_serve_queries() {
+        let (db, queries) = SyntheticSpec::sift_small(102).generate();
+        let request = FannsRequest::recall_goal(10, 0.35).test_scale();
+        let generated = Fanns::new(request).run(&db, &queries).unwrap();
+        let report = generated.simulate(&queries);
+        assert_eq!(report.queries, queries.len());
+        assert!(report.qps > 0.0);
+    }
+
+    #[test]
+    fn unreachable_recall_goal_is_reported() {
+        let err = small_run(10, 1.01).unwrap_err();
+        assert!(matches!(err, FannsError::RecallGoalUnreachable { .. }));
+        assert!(err.to_string().contains("recall goal"));
+    }
+
+    #[test]
+    fn workflow_timings_are_recorded() {
+        let generated = small_run(10, 0.4).unwrap();
+        assert!(generated.timings.explore_indexes > Duration::ZERO);
+        assert!(generated.timings.predict_design > Duration::ZERO);
+    }
+}

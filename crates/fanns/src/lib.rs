@@ -1,0 +1,47 @@
+//! # FANNS — hardware–algorithm co-design for vector search
+//!
+//! A from-scratch Rust reproduction of *"Co-design Hardware and Algorithm for
+//! Vector Search"* (SC '23). Given a dataset, a recall goal (e.g. "R@10 ≥
+//! 80 %") and an FPGA device description, the framework
+//!
+//! 1. trains a family of IVF-PQ indexes and measures their recall–nprobe
+//!    relationship ([`fanns_dse::index_explorer`]),
+//! 2. enumerates every accelerator design that fits the device
+//!    ([`fanns_perfmodel::enumerate`]),
+//! 3. predicts the QPS of every (parameters × design) combination and picks
+//!    the best ([`fanns_dse::optimizer`]),
+//! 4. "generates" the accelerator — a structural kernel plan plus a runnable
+//!    cycle-level simulator instance ([`fanns_codegen`]),
+//! 5. and optionally attaches a network stack and evaluates scale-out
+//!    deployments ([`fanns_scaleout`]).
+//!
+//! The heavy lifting lives in the per-subsystem crates re-exported below;
+//! this crate provides the end-to-end [`framework::Fanns`] entry point that
+//! mirrors the workflow of Figure 4.
+//!
+//! ```no_run
+//! use fanns::framework::{Fanns, FannsRequest};
+//! use fanns_dataset::synth::SyntheticSpec;
+//!
+//! let (database, queries) = SyntheticSpec::sift_medium(42).generate();
+//! let request = FannsRequest::recall_goal(10, 0.80).laptop_scale();
+//! let outcome = Fanns::new(request).run(&database, &queries);
+//! match outcome {
+//!     Ok(generated) => println!("{}", generated.summary()),
+//!     Err(e) => eprintln!("co-design failed: {e}"),
+//! }
+//! ```
+
+pub mod framework;
+
+pub use framework::{Fanns, FannsError, FannsRequest, GeneratedAccelerator, WorkflowTimings};
+
+// Re-export the subsystem crates under one roof for downstream users.
+pub use fanns_codegen as codegen;
+pub use fanns_dataset as dataset;
+pub use fanns_dse as dse;
+pub use fanns_hwsim as hwsim;
+pub use fanns_ivf as ivf;
+pub use fanns_perfmodel as perfmodel;
+pub use fanns_quantize as quantize;
+pub use fanns_scaleout as scaleout;

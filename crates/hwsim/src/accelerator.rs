@@ -1,0 +1,597 @@
+//! The assembled accelerator simulator.
+//!
+//! An [`Accelerator`] binds an [`AcceleratorConfig`] (the hardware design), an
+//! [`IvfPqIndex`] (the database content that would live in the FPGA's HBM) and
+//! a set of query-time parameters. It provides:
+//!
+//! * a **functional** path — queries flow through the same six stages the
+//!   hardware implements, with the selection stages executed by the modelled
+//!   HPQ/HSMPQG units, producing real neighbour lists,
+//! * a **cycle accounting** path — every stage's cycle count for the query is
+//!   computed from the PE models of [`crate::stages`] and
+//!   [`crate::select`], giving per-query latency (sum over stages, plus the
+//!   host/DMA overhead) and pipelined throughput (bounded by the slowest
+//!   stage, Equation 3).
+//!
+//! The deterministic processing pipeline is what gives the FPGA its very low
+//! latency variance in the paper (Figure 11); here that shows up as per-query
+//! latencies that differ only through the number of codes actually scanned.
+
+use serde::{Deserialize, Serialize};
+
+use fanns_dataset::types::QuerySet;
+use fanns_ivf::index::IvfPqIndex;
+use fanns_ivf::params::{IvfPqParams, SearchStage};
+use fanns_ivf::search::{
+    stage_build_lut, stage_ivf_dist, stage_opq, stage_scan_and_select, SearchResult,
+};
+
+use crate::config::{AcceleratorConfig, IndexStore};
+use crate::memory::{HbmModel, OnChipMemory};
+use crate::priority_queue::QueueItem;
+use crate::select::{KSelectionUnit, SelectionSpec};
+use crate::stages::{
+    build_lut_elements_per_pe, build_lut_pe_model, ivf_dist_elements_per_pe, ivf_dist_pe_model,
+    opq_elements_per_pe, opq_pe_model, pq_dist_elements_per_pe, pq_dist_pe_model,
+};
+
+/// Fixed pipeline overhead per query in cycles: query DMA-in over PCIe (or
+/// the network stack), the global controller, and result DMA-out.
+pub const QUERY_OVERHEAD_CYCLES: u64 = 400;
+
+/// The outcome of simulating one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The K nearest neighbours found (sorted by distance).
+    pub results: Vec<SearchResult>,
+    /// Cycles spent per stage, indexed by [`SearchStage::position`].
+    pub stage_cycles: [u64; 6],
+    /// End-to-end latency in cycles (pipeline traversal + fixed overhead).
+    pub latency_cycles: u64,
+    /// Number of PQ codes actually scanned for this query.
+    pub scanned_codes: u64,
+}
+
+impl QueryOutcome {
+    /// The stage that consumed the most cycles for this query.
+    pub fn bottleneck(&self) -> SearchStage {
+        let mut best = SearchStage::Opq;
+        let mut best_c = 0u64;
+        for stage in fanns_ivf::params::ALL_STAGES {
+            let c = self.stage_cycles[stage.position()];
+            if c > best_c {
+                best_c = c;
+                best = stage;
+            }
+        }
+        best
+    }
+
+    /// Latency in microseconds at the given clock frequency.
+    pub fn latency_us(&self, freq_mhz: f64) -> f64 {
+        self.latency_cycles as f64 / freq_mhz
+    }
+}
+
+/// Aggregate results of simulating a batch of queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Number of queries simulated.
+    pub queries: usize,
+    /// Pipelined throughput in queries per second (Equation 3: the slowest
+    /// stage sets the initiation rate).
+    pub qps: f64,
+    /// Per-query end-to-end latency in microseconds.
+    pub latencies_us: Vec<f64>,
+    /// Mean cycles per stage across the batch.
+    pub mean_stage_cycles: [f64; 6],
+    /// The stage that was the throughput bottleneck most often.
+    pub bottleneck: SearchStage,
+    /// Mean number of PQ codes scanned per query.
+    pub mean_scanned_codes: f64,
+}
+
+impl SimulationReport {
+    /// Percentile of the latency distribution (linear interpolation).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        fanns_ivf::baseline_cpu::percentile(&self.latencies_us, p)
+    }
+}
+
+/// Errors raised when an accelerator cannot be instantiated for an index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AcceleratorError {
+    /// The PQ-coded database plus centroids exceed HBM capacity.
+    DatabaseTooLarge {
+        /// Bytes required.
+        required: u64,
+        /// Bytes available.
+        capacity: u64,
+    },
+    /// A structure configured as on-chip does not fit in BRAM/URAM.
+    OnChipOverflow {
+        /// The structure that overflowed.
+        what: String,
+        /// Bytes required.
+        required: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// The index has no OPQ but the design allocates OPQ PEs, or vice versa.
+    OpqMismatch,
+}
+
+impl std::fmt::Display for AcceleratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcceleratorError::DatabaseTooLarge { required, capacity } => {
+                write!(f, "database needs {required} B but HBM holds {capacity} B")
+            }
+            AcceleratorError::OnChipOverflow {
+                what,
+                required,
+                available,
+            } => write!(f, "{what} needs {required} B on-chip but only {available} B are free"),
+            AcceleratorError::OpqMismatch => write!(f, "OPQ PE allocation does not match the index"),
+        }
+    }
+}
+
+impl std::error::Error for AcceleratorError {}
+
+/// A simulated FANNS accelerator bound to an index and query parameters.
+#[derive(Debug)]
+pub struct Accelerator<'a> {
+    index: &'a IvfPqIndex,
+    config: AcceleratorConfig,
+    params: IvfPqParams,
+    hbm: HbmModel,
+    on_chip: OnChipMemory,
+}
+
+impl<'a> Accelerator<'a> {
+    /// Instantiates an accelerator, checking memory feasibility.
+    pub fn new(
+        index: &'a IvfPqIndex,
+        config: AcceleratorConfig,
+        params: IvfPqParams,
+    ) -> Result<Self, AcceleratorError> {
+        let hbm = HbmModel::u55c();
+        let mut on_chip = OnChipMemory::u55c();
+
+        let code_bytes = index.code_bytes() as u64;
+        let centroid_bytes = index.centroid_bytes() as u64;
+        if !hbm.fits(code_bytes, centroid_bytes) {
+            return Err(AcceleratorError::DatabaseTooLarge {
+                required: code_bytes + centroid_bytes,
+                capacity: hbm.capacity_bytes,
+            });
+        }
+
+        // An index trained with OPQ needs at least one OPQ PE; the converse
+        // (OPQ PEs on a non-OPQ index) merely wastes area and is allowed.
+        if index.has_opq() && config.sizing.opq_pes == 0 {
+            return Err(AcceleratorError::OpqMismatch);
+        }
+
+        if config.ivf_store == IndexStore::OnChip {
+            let available = on_chip.available();
+            if !on_chip.allocate("IVF centroid table", centroid_bytes) {
+                return Err(AcceleratorError::OnChipOverflow {
+                    what: "IVF centroid table".to_string(),
+                    required: centroid_bytes,
+                    available,
+                });
+            }
+        }
+        if config.lut_store == IndexStore::OnChip {
+            let codebook_bytes =
+                (index.m() * index.pq().ksub() * index.pq().dsub() * std::mem::size_of::<f32>()) as u64;
+            let available = on_chip.available();
+            if !on_chip.allocate("PQ sub-quantizer codebooks", codebook_bytes) {
+                return Err(AcceleratorError::OnChipOverflow {
+                    what: "PQ sub-quantizer codebooks".to_string(),
+                    required: codebook_bytes,
+                    available,
+                });
+            }
+        }
+
+        Ok(Self {
+            index,
+            config,
+            params,
+            hbm,
+            on_chip,
+        })
+    }
+
+    /// The bound hardware configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The bound algorithm parameters.
+    pub fn params(&self) -> IvfPqParams {
+        self.params
+    }
+
+    /// The on-chip memory allocation tracker (after instantiation).
+    pub fn on_chip(&self) -> &OnChipMemory {
+        &self.on_chip
+    }
+
+    /// Per-stage cycle counts for a query that scans `scanned_codes` codes.
+    /// This is the hardware cycle model shared with the performance model.
+    pub fn stage_cycles(&self, scanned_codes: u64) -> [u64; 6] {
+        let dim = self.index.dim();
+        let m = self.index.m();
+        let ksub = self.index.pq().ksub();
+        let nlist = self.index.nlist();
+        let nprobe = self.params.effective_nprobe();
+        let k = self.params.k;
+        let s = &self.config.sizing;
+
+        let opq_cycles = if self.index.has_opq() {
+            opq_pe_model(dim).cycles(opq_elements_per_pe(dim, s.opq_pes))
+        } else {
+            0
+        };
+
+        let ivf_cycles = ivf_dist_pe_model(dim, self.config.ivf_store)
+            .cycles(ivf_dist_elements_per_pe(nlist, s.ivf_dist_pes));
+
+        let sel_cells_spec = SelectionSpec::new(
+            self.config.sel_cells_arch,
+            self.config.sel_cells_streams(),
+            nprobe,
+        );
+        let sel_cells_cycles =
+            sel_cells_spec.cycles_per_query(ivf_dist_elements_per_pe(nlist, s.ivf_dist_pes));
+
+        let lut_cycles = build_lut_pe_model(self.index.pq().dsub(), self.config.lut_store)
+            .cycles(build_lut_elements_per_pe(m, ksub, s.build_lut_pes));
+
+        let pq_cycles = pq_dist_pe_model(m, ksub, nprobe)
+            .cycles(pq_dist_elements_per_pe(scanned_codes as f64, s.pq_dist_pes));
+
+        let sel_k_spec =
+            SelectionSpec::new(self.config.sel_k_arch, self.config.sel_k_streams(), k);
+        let sel_k_cycles = sel_k_spec
+            .cycles_per_query(pq_dist_elements_per_pe(scanned_codes as f64, s.pq_dist_pes));
+
+        [
+            opq_cycles,
+            ivf_cycles,
+            sel_cells_cycles,
+            lut_cycles,
+            pq_cycles,
+            sel_k_cycles,
+        ]
+    }
+
+    /// Number of PQ codes that will actually be scanned for a query.
+    fn count_scanned(&self, cells: &[usize]) -> u64 {
+        cells.iter().map(|&c| self.index.list(c).len() as u64).sum()
+    }
+
+    /// Simulates one query through the *hardware-functional* path: the
+    /// selection stages run on the modelled HPQ/HSMPQG units.
+    pub fn simulate_query(&self, query: &[f32]) -> QueryOutcome {
+        let nprobe = self.params.effective_nprobe();
+        let k = self.params.k;
+
+        // Computation stages are numerically identical to the CPU reference.
+        let rotated = stage_opq(self.index, query);
+        let centroid_dists = stage_ivf_dist(self.index, &rotated);
+
+        // Stage SelCells on the configured selection hardware: distances are
+        // distributed round-robin over the IVFDist PE output streams.
+        let cell_streams = round_robin_streams(
+            centroid_dists
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| QueueItem::new(d, i as u32)),
+            self.config.sel_cells_streams(),
+        );
+        let mut sel_cells_unit = KSelectionUnit::new(SelectionSpec::new(
+            self.config.sel_cells_arch,
+            self.config.sel_cells_streams(),
+            nprobe,
+        ));
+        let cells: Vec<usize> = sel_cells_unit
+            .select(&cell_streams)
+            .into_iter()
+            .map(|i| i.id as usize)
+            .collect();
+
+        let lut = stage_build_lut(self.index, &rotated);
+
+        // Stage PQDist + SelK: ADC distances distributed over the PQDist PE
+        // streams, selected by the configured SelK hardware.
+        let m = self.index.m();
+        let mut candidates: Vec<QueueItem> = Vec::new();
+        for &cell in &cells {
+            let list = self.index.list(cell);
+            for (slot, code) in list.codes.chunks_exact(m).enumerate() {
+                candidates.push(QueueItem::new(lut.adc(code), list.ids[slot]));
+            }
+        }
+        let scanned_codes = candidates.len() as u64;
+        let k_streams = round_robin_streams(candidates.into_iter(), self.config.sel_k_streams());
+        let mut sel_k_unit = KSelectionUnit::new(SelectionSpec::new(
+            self.config.sel_k_arch,
+            self.config.sel_k_streams(),
+            k,
+        ));
+        let results: Vec<SearchResult> = sel_k_unit
+            .select(&k_streams)
+            .into_iter()
+            .map(|i| SearchResult {
+                id: i.id,
+                distance: i.distance,
+            })
+            .collect();
+
+        let stage_cycles = self.stage_cycles(scanned_codes);
+        let latency_cycles = stage_cycles.iter().sum::<u64>() + QUERY_OVERHEAD_CYCLES;
+        QueryOutcome {
+            results,
+            stage_cycles,
+            latency_cycles,
+            scanned_codes,
+        }
+    }
+
+    /// Simulates one query through the fast path: results come from the
+    /// software reference implementation (identical arithmetic), while cycle
+    /// accounting uses the same hardware model as [`Self::simulate_query`].
+    pub fn simulate_query_fast(&self, query: &[f32]) -> QueryOutcome {
+        let nprobe = self.params.effective_nprobe();
+        let k = self.params.k;
+        let rotated = stage_opq(self.index, query);
+        let centroid_dists = stage_ivf_dist(self.index, &rotated);
+        let cells = fanns_ivf::search::stage_sel_cells(&centroid_dists, nprobe);
+        let lut = stage_build_lut(self.index, &rotated);
+        let results = stage_scan_and_select(self.index, &cells, &lut, k);
+        let scanned_codes = self.count_scanned(&cells);
+        let stage_cycles = self.stage_cycles(scanned_codes);
+        let latency_cycles = stage_cycles.iter().sum::<u64>() + QUERY_OVERHEAD_CYCLES;
+        QueryOutcome {
+            results,
+            stage_cycles,
+            latency_cycles,
+            scanned_codes,
+        }
+    }
+
+    /// Simulates a batch of queries and aggregates throughput and latency.
+    ///
+    /// `use_hw_functional` selects the hardware-functional path (slower in
+    /// simulation, used by correctness tests) or the fast path (identical
+    /// cycle model, used by large benchmark sweeps).
+    pub fn simulate_batch(&self, queries: &QuerySet, use_hw_functional: bool) -> SimulationReport {
+        let outcomes: Vec<QueryOutcome> = (0..queries.len())
+            .map(|q| {
+                if use_hw_functional {
+                    self.simulate_query(queries.get(q))
+                } else {
+                    self.simulate_query_fast(queries.get(q))
+                }
+            })
+            .collect();
+        self.aggregate(&outcomes)
+    }
+
+    /// Aggregates per-query outcomes into a [`SimulationReport`].
+    pub fn aggregate(&self, outcomes: &[QueryOutcome]) -> SimulationReport {
+        let n = outcomes.len().max(1);
+        let freq = self.config.freq_mhz;
+
+        let mut mean_stage_cycles = [0.0f64; 6];
+        let mut bottleneck_votes = [0usize; 6];
+        let mut total_bottleneck_cycles = 0u64;
+        let mut latencies_us = Vec::with_capacity(outcomes.len());
+        let mut scanned = 0u64;
+
+        for o in outcomes {
+            for i in 0..6 {
+                mean_stage_cycles[i] += o.stage_cycles[i] as f64 / n as f64;
+            }
+            let slowest = *o.stage_cycles.iter().max().unwrap_or(&0);
+            total_bottleneck_cycles += slowest;
+            bottleneck_votes[o.bottleneck().position()] += 1;
+            latencies_us.push(o.latency_us(freq));
+            scanned += o.scanned_codes;
+        }
+
+        // Pipelined steady state: a new query enters as soon as the slowest
+        // stage frees up, so the batch takes Σ max-stage-cycles plus one
+        // pipeline fill.
+        let fill: u64 = outcomes
+            .first()
+            .map(|o| o.latency_cycles.saturating_sub(*o.stage_cycles.iter().max().unwrap_or(&0)))
+            .unwrap_or(0);
+        let total_cycles = total_bottleneck_cycles + fill;
+        let qps = if total_cycles == 0 {
+            0.0
+        } else {
+            outcomes.len() as f64 / self.config.cycles_to_seconds(total_cycles)
+        };
+
+        let bottleneck_pos = bottleneck_votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        SimulationReport {
+            queries: outcomes.len(),
+            qps,
+            latencies_us,
+            mean_stage_cycles,
+            bottleneck: fanns_ivf::params::ALL_STAGES[bottleneck_pos],
+            mean_scanned_codes: scanned as f64 / n as f64,
+        }
+    }
+
+    /// The HBM model used for feasibility checks.
+    pub fn hbm(&self) -> &HbmModel {
+        &self.hbm
+    }
+}
+
+/// Distributes an item stream round-robin across `n` sub-streams (models the
+/// work distribution over parallel PEs / FIFO lanes).
+fn round_robin_streams<I: Iterator<Item = QueueItem>>(items: I, n: usize) -> Vec<Vec<QueueItem>> {
+    let n = n.max(1);
+    let mut streams = vec![Vec::new(); n];
+    for (i, item) in items.enumerate() {
+        streams[i % n].push(item);
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectArch;
+    use fanns_dataset::synth::SyntheticSpec;
+    use fanns_ivf::index::IvfPqTrainConfig;
+    use fanns_ivf::search::search;
+
+    fn setup(opq: bool) -> (fanns_dataset::types::VectorDataset, QuerySet, IvfPqIndex) {
+        let (db, queries) = SyntheticSpec::sift_small(55).generate();
+        let cfg = IvfPqTrainConfig::new(16)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000)
+            .with_seed(5)
+            .with_opq(opq);
+        let index = IvfPqIndex::build(&db, &cfg);
+        (db, queries, index)
+    }
+
+    fn params(index: &IvfPqIndex, nprobe: usize, k: usize) -> IvfPqParams {
+        IvfPqParams::new(index.nlist(), nprobe, k)
+            .with_m(index.m())
+            .with_opq(index.has_opq())
+    }
+
+    #[test]
+    fn hardware_functional_path_matches_software_reference() {
+        let (_, queries, index) = setup(false);
+        let acc = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
+        for q in 0..6 {
+            let hw = acc.simulate_query(queries.get(q));
+            let sw = search(&index, queries.get(q), 10, 4);
+            let hw_ids: Vec<u32> = hw.results.iter().map(|r| r.id).collect();
+            let sw_ids: Vec<u32> = sw.iter().map(|r| r.id).collect();
+            assert_eq!(hw_ids, sw_ids, "query {q} mismatch");
+        }
+    }
+
+    #[test]
+    fn fast_path_and_hw_path_agree() {
+        let (_, queries, index) = setup(false);
+        let acc = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 8, 10)).unwrap();
+        for q in 0..4 {
+            let a = acc.simulate_query(queries.get(q));
+            let b = acc.simulate_query_fast(queries.get(q));
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.stage_cycles, b.stage_cycles);
+            assert_eq!(a.scanned_codes, b.scanned_codes);
+        }
+    }
+
+    #[test]
+    fn opq_index_without_opq_pes_is_rejected() {
+        let (_, _, opq_index) = setup(true);
+        let mut cfg = AcceleratorConfig::balanced();
+        cfg.sizing.opq_pes = 0;
+        assert!(matches!(
+            Accelerator::new(&opq_index, cfg, params(&opq_index, 4, 10)),
+            Err(AcceleratorError::OpqMismatch)
+        ));
+        // The converse — OPQ PEs on a plain index — only wastes area.
+        let (_, _, plain_index) = setup(false);
+        let cfg = AcceleratorConfig::balanced();
+        assert!(Accelerator::new(&plain_index, cfg, params(&plain_index, 4, 10)).is_ok());
+    }
+
+    #[test]
+    fn opq_design_runs_and_spends_cycles_in_stage_opq() {
+        let (_, queries, index) = setup(true);
+        let mut cfg = AcceleratorConfig::balanced();
+        cfg.sizing.opq_pes = 1;
+        let acc = Accelerator::new(&index, cfg, params(&index, 4, 10)).unwrap();
+        let outcome = acc.simulate_query_fast(queries.get(0));
+        assert!(outcome.stage_cycles[SearchStage::Opq.position()] > 0);
+    }
+
+    #[test]
+    fn on_chip_ivf_cache_is_tracked() {
+        let (_, _, index) = setup(false);
+        let mut cfg = AcceleratorConfig::balanced();
+        cfg.ivf_store = IndexStore::OnChip;
+        let acc = Accelerator::new(&index, cfg, params(&index, 4, 10)).unwrap();
+        assert!(acc.on_chip().allocated() > 0);
+    }
+
+    #[test]
+    fn scanning_more_cells_increases_pqdist_cycles_and_latency() {
+        let (_, queries, index) = setup(false);
+        let narrow = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 1, 10)).unwrap();
+        let wide = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 16, 10)).unwrap();
+        let a = narrow.simulate_query_fast(queries.get(0));
+        let b = wide.simulate_query_fast(queries.get(0));
+        assert!(b.scanned_codes > a.scanned_codes);
+        assert!(
+            b.stage_cycles[SearchStage::PqDist.position()] > a.stage_cycles[SearchStage::PqDist.position()]
+        );
+        assert!(b.latency_cycles > a.latency_cycles);
+    }
+
+    #[test]
+    fn batch_report_is_internally_consistent() {
+        let (_, queries, index) = setup(false);
+        let acc = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
+        let report = acc.simulate_batch(&queries, false);
+        assert_eq!(report.queries, queries.len());
+        assert_eq!(report.latencies_us.len(), queries.len());
+        assert!(report.qps > 0.0);
+        assert!(report.mean_scanned_codes > 0.0);
+        assert!(report.latency_percentile(95.0) >= report.latency_percentile(50.0));
+        let sum: f64 = report.mean_stage_cycles.iter().sum();
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn more_pqdist_pes_raise_throughput_when_scan_bound() {
+        let (_, queries, index) = setup(false);
+        let mut small = AcceleratorConfig::balanced();
+        small.sizing.pq_dist_pes = 2;
+        let mut large = AcceleratorConfig::balanced();
+        large.sizing.pq_dist_pes = 32;
+        // With 32 PQDist streams the co-design would pair SelK with the
+        // HSMPQG microarchitecture (many streams, small K) — do the same here
+        // so SelK does not become the artificial bottleneck.
+        large.sel_k_arch = SelectArch::Hsmpqg;
+        let p = params(&index, 16, 10);
+        let r_small = Accelerator::new(&index, small, p).unwrap().simulate_batch(&queries, false);
+        let r_large = Accelerator::new(&index, large, p).unwrap().simulate_batch(&queries, false);
+        assert!(r_large.qps > r_small.qps);
+    }
+
+    #[test]
+    fn fpga_latency_variance_is_low() {
+        // The deterministic pipeline should keep P95/median close to 1 —
+        // the property that drives the paper's scale-out result.
+        let (_, queries, index) = setup(false);
+        let acc = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
+        let report = acc.simulate_batch(&queries, false);
+        let ratio = report.latency_percentile(95.0) / report.latency_percentile(50.0).max(1e-9);
+        assert!(ratio < 2.0, "FPGA tail/median ratio unexpectedly high: {ratio}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Bitonic sorting and partial-merging networks (§5.1.1 and Figure 7).
+//!
+//! Bitonic sort is the FPGA-friendly parallel sorting primitive: a network of
+//! compare-swap stages that accepts `l` elements per clock cycle and, after a
+//! fixed pipeline latency of `Σ_{i=1..log2 l} i = log2(l)·(1+log2(l))/2`
+//! stages, emits the sorted array — one full array per cycle at steady state.
+//! A *bitonic partial merger* takes two sorted arrays of length `l` and
+//! outputs the smallest `l` of the union, again fully pipelined.
+//!
+//! These two networks are the building blocks of the HSMPQG selection
+//! microarchitecture (hybrid sort / merge / priority-queue group).
+
+use crate::priority_queue::QueueItem;
+
+/// Returns the smallest power of two ≥ `n` (the width a bitonic network must
+/// be padded to).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// Pipeline latency, in clock cycles, of a bitonic sort network of width `l`
+/// (`l` must be a power of two): `log2(l) * (1 + log2(l)) / 2`.
+pub fn sort_latency_cycles(width: usize) -> u64 {
+    assert!(width.is_power_of_two(), "bitonic width must be a power of two");
+    let stages = width.trailing_zeros() as u64;
+    stages * (stages + 1) / 2
+}
+
+/// Pipeline latency of a bitonic partial merger of width `l`: a single merge
+/// phase of `log2(2l)` compare-swap stages.
+pub fn merge_latency_cycles(width: usize) -> u64 {
+    assert!(width.is_power_of_two(), "bitonic width must be a power of two");
+    (2 * width).trailing_zeros() as u64
+}
+
+/// Number of compare-swap units in a bitonic sort network of width `l`
+/// (`l/2` per stage) — the resource-consumption proxy used by the
+/// performance model.
+pub fn sort_compare_swap_units(width: usize) -> usize {
+    assert!(width.is_power_of_two());
+    let stages = sort_latency_cycles(width) as usize;
+    stages * width / 2
+}
+
+/// Number of compare-swap units in a bitonic partial merger of width `l`.
+pub fn merge_compare_swap_units(width: usize) -> usize {
+    assert!(width.is_power_of_two());
+    merge_latency_cycles(width) as usize * width / 2
+}
+
+/// A bitonic sort network of fixed width.
+///
+/// The functional model sorts one input array per call; the cycle model
+/// exposes the pipeline latency and an initiation interval of one (a new
+/// array can be accepted every cycle).
+#[derive(Debug, Clone)]
+pub struct BitonicSorter {
+    width: usize,
+}
+
+impl BitonicSorter {
+    /// Creates a sorter of the given power-of-two width.
+    pub fn new(width: usize) -> Self {
+        assert!(width.is_power_of_two(), "bitonic width must be a power of two");
+        Self { width }
+    }
+
+    /// Network width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pipeline latency in cycles.
+    pub fn latency(&self) -> u64 {
+        sort_latency_cycles(self.width)
+    }
+
+    /// Sorts one parallel input array (padding with +∞ if it is short).
+    ///
+    /// # Panics
+    /// Panics if more than `width` items are supplied.
+    pub fn sort(&self, items: &[QueueItem]) -> Vec<QueueItem> {
+        assert!(
+            items.len() <= self.width,
+            "{} items exceed network width {}",
+            items.len(),
+            self.width
+        );
+        let mut padded: Vec<QueueItem> = items.to_vec();
+        padded.resize(self.width, QueueItem::padding());
+        bitonic_sort_inplace(&mut padded);
+        padded
+    }
+}
+
+/// A bitonic partial merger: takes two sorted arrays of length `width` and
+/// returns the smallest `width` elements of their union, sorted.
+#[derive(Debug, Clone)]
+pub struct BitonicPartialMerger {
+    width: usize,
+}
+
+impl BitonicPartialMerger {
+    /// Creates a merger of the given power-of-two width.
+    pub fn new(width: usize) -> Self {
+        assert!(width.is_power_of_two(), "bitonic width must be a power of two");
+        Self { width }
+    }
+
+    /// Network width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pipeline latency in cycles.
+    pub fn latency(&self) -> u64 {
+        merge_latency_cycles(self.width)
+    }
+
+    /// Merges two sorted arrays, keeping the smallest `width` elements.
+    ///
+    /// # Panics
+    /// Panics if either input is longer than `width`.
+    pub fn merge_smallest(&self, a: &[QueueItem], b: &[QueueItem]) -> Vec<QueueItem> {
+        assert!(a.len() <= self.width && b.len() <= self.width);
+        // The hardware reverses one array, concatenates to form a bitonic
+        // sequence and runs a single merge phase; functionally that is
+        // "merge two sorted lists, keep the width smallest".
+        let mut out = Vec::with_capacity(self.width);
+        let (mut i, mut j) = (0usize, 0usize);
+        while out.len() < self.width {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => x.distance <= y.distance,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_a {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        while out.len() < self.width {
+            out.push(QueueItem::padding());
+        }
+        out
+    }
+}
+
+/// In-place bitonic sort (ascending by distance). Width must be a power of two.
+fn bitonic_sort_inplace(items: &mut [QueueItem]) {
+    let n = items.len();
+    debug_assert!(n.is_power_of_two());
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    let ascending = (i & k) == 0;
+                    let should_swap = if ascending {
+                        items[i].distance > items[l].distance
+                    } else {
+                        items[i].distance < items[l].distance
+                    };
+                    if should_swap {
+                        items.swap(i, l);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn items(vals: &[f32]) -> Vec<QueueItem> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| QueueItem::new(v, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn latency_formula_matches_paper() {
+        // The paper gives latency = log2(l)(1+log2(l))/2; for l=16 that is 10.
+        assert_eq!(sort_latency_cycles(16), 10);
+        assert_eq!(sort_latency_cycles(2), 1);
+        assert_eq!(sort_latency_cycles(64), 21);
+    }
+
+    #[test]
+    fn merger_latency_is_log_of_double_width() {
+        assert_eq!(merge_latency_cycles(16), 5);
+        assert_eq!(merge_latency_cycles(8), 4);
+    }
+
+    #[test]
+    fn compare_swap_unit_counts_scale_with_width() {
+        assert_eq!(sort_compare_swap_units(16), 10 * 8);
+        assert!(sort_compare_swap_units(32) > sort_compare_swap_units(16));
+        assert_eq!(merge_compare_swap_units(16), 5 * 8);
+    }
+
+    #[test]
+    fn sorter_sorts_and_pads() {
+        let s = BitonicSorter::new(8);
+        let out = s.sort(&items(&[5.0, 1.0, 3.0]));
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[0].distance, 1.0);
+        assert_eq!(out[1].distance, 3.0);
+        assert_eq!(out[2].distance, 5.0);
+        assert!(out[3].distance.is_infinite());
+    }
+
+    #[test]
+    fn merger_keeps_global_smallest() {
+        let m = BitonicPartialMerger::new(4);
+        let a = items(&[1.0, 4.0, 7.0, 9.0]);
+        let b = items(&[2.0, 3.0, 8.0, 10.0]);
+        let out = m.merge_smallest(&a, &b);
+        let dists: Vec<f32> = out.iter().map(|i| i.distance).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_width_is_rejected() {
+        let _ = BitonicSorter::new(12);
+    }
+
+    #[test]
+    fn next_power_of_two_helper() {
+        assert_eq!(next_power_of_two(10), 16);
+        assert_eq!(next_power_of_two(16), 16);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(0), 1);
+    }
+
+    proptest! {
+        /// The bitonic network must agree with a reference sort.
+        #[test]
+        fn bitonic_sort_matches_std_sort(values in prop::collection::vec(0.0f32..100.0, 0..16)) {
+            let s = BitonicSorter::new(16);
+            let out = s.sort(&items(&values));
+            let got: Vec<f32> = out.iter().map(|i| i.distance).filter(|d| d.is_finite()).collect();
+            let mut expected = values.clone();
+            expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Merging two sorted halves must equal sort-and-truncate of the union.
+        #[test]
+        fn merger_matches_reference(mut a in prop::collection::vec(0.0f32..100.0, 0..8),
+                                    mut b in prop::collection::vec(0.0f32..100.0, 0..8)) {
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let m = BitonicPartialMerger::new(8);
+            let out = m.merge_smallest(&items(&a), &items(&b));
+            let got: Vec<f32> = out.iter().map(|i| i.distance).filter(|d| d.is_finite()).collect();
+            let mut union = a.clone();
+            union.extend_from_slice(&b);
+            union.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            union.truncate(8);
+            prop_assert_eq!(got, union);
+        }
+    }
+}

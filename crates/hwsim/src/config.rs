@@ -1,0 +1,195 @@
+//! Accelerator design description.
+//!
+//! An [`AcceleratorConfig`] captures every hardware-level choice in Table 2:
+//! the microarchitecture of the two selection stages, the number of PEs per
+//! stage, and whether the IVF centroid table and the PQ sub-quantizer
+//! codebooks are cached on-chip or streamed from HBM. The same struct is
+//! produced by the design-space enumerator in `fanns-perfmodel`, consumed by
+//! the QPS performance model, rendered by the code generator in
+//! `fanns-codegen`, and instantiated as a runnable simulator by
+//! [`crate::accelerator::Accelerator`].
+
+use serde::{Deserialize, Serialize};
+
+/// Microarchitecture options for the K-selection stages (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectArch {
+    /// Hierarchical priority queue.
+    Hpq,
+    /// Hybrid bitonic sorting + partial merging + priority queue group.
+    Hsmpqg,
+}
+
+impl SelectArch {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectArch::Hpq => "HPQ",
+            SelectArch::Hsmpqg => "HSMPQG",
+        }
+    }
+}
+
+/// Where a lookup structure (IVF centroids, PQ codebooks) lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexStore {
+    /// Cached in on-chip BRAM/URAM: low latency, consumes on-chip memory.
+    OnChip,
+    /// Streamed from off-chip HBM: no on-chip cost, higher access latency.
+    Hbm,
+}
+
+impl IndexStore {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexStore::OnChip => "on-chip",
+            IndexStore::Hbm => "HBM",
+        }
+    }
+}
+
+/// PE counts and per-stage choices — the "chip area allocation" dimension of
+/// the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageSizing {
+    /// Number of Stage OPQ PEs (0 when the index has no OPQ).
+    pub opq_pes: usize,
+    /// Number of Stage IVFDist PEs.
+    pub ivf_dist_pes: usize,
+    /// Number of Stage BuildLUT PEs.
+    pub build_lut_pes: usize,
+    /// Number of Stage PQDist PEs.
+    pub pq_dist_pes: usize,
+}
+
+impl StageSizing {
+    /// Total compute-PE count across the four computation stages.
+    pub fn total_compute_pes(&self) -> usize {
+        self.opq_pes + self.ivf_dist_pes + self.build_lut_pes + self.pq_dist_pes
+    }
+}
+
+/// A complete accelerator design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// PE counts for the computation stages.
+    pub sizing: StageSizing,
+    /// Microarchitecture of Stage SelCells.
+    pub sel_cells_arch: SelectArch,
+    /// Microarchitecture of Stage SelK.
+    pub sel_k_arch: SelectArch,
+    /// Where the IVF centroid table is stored.
+    pub ivf_store: IndexStore,
+    /// Where the PQ sub-quantizer codebooks (used by Stage BuildLUT) live.
+    pub lut_store: IndexStore,
+    /// Target clock frequency in MHz (the paper uses 140 MHz on the U55C).
+    pub freq_mhz: f64,
+}
+
+impl AcceleratorConfig {
+    /// The paper's target clock frequency for the Alveo U55C.
+    pub const DEFAULT_FREQ_MHZ: f64 = 140.0;
+
+    /// A small, balanced design useful as a starting point and in tests.
+    pub fn balanced() -> Self {
+        Self {
+            sizing: StageSizing {
+                opq_pes: 1,
+                ivf_dist_pes: 8,
+                build_lut_pes: 4,
+                pq_dist_pes: 16,
+            },
+            sel_cells_arch: SelectArch::Hpq,
+            sel_k_arch: SelectArch::Hpq,
+            ivf_store: IndexStore::Hbm,
+            lut_store: IndexStore::Hbm,
+            freq_mhz: Self::DEFAULT_FREQ_MHZ,
+        }
+    }
+
+    /// Number of input streams feeding Stage SelCells (one per IVFDist PE).
+    pub fn sel_cells_streams(&self) -> usize {
+        self.sizing.ivf_dist_pes.max(1)
+    }
+
+    /// Number of input streams feeding Stage SelK. With the HPQ architecture
+    /// each PQDist PE is split into two sub-streams (a replace takes two
+    /// cycles), matching the paper's `#InStream` column in Table 4.
+    pub fn sel_k_streams(&self) -> usize {
+        match self.sel_k_arch {
+            SelectArch::Hpq => 2 * self.sizing.pq_dist_pes.max(1),
+            SelectArch::Hsmpqg => self.sizing.pq_dist_pes.max(1),
+        }
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        1_000.0 / self.freq_mhz
+    }
+
+    /// Converts a cycle count into seconds at the configured frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_mhz * 1e6)
+    }
+
+    /// One-line structural summary (used in logs and generated-code headers).
+    pub fn summary(&self) -> String {
+        format!(
+            "OPQ×{} | IVFDist×{} ({}) | SelCells {} | BuildLUT×{} ({}) | PQDist×{} | SelK {} @ {} MHz",
+            self.sizing.opq_pes,
+            self.sizing.ivf_dist_pes,
+            self.ivf_store.name(),
+            self.sel_cells_arch.name(),
+            self.sizing.build_lut_pes,
+            self.lut_store.name(),
+            self.sizing.pq_dist_pes,
+            self.sel_k_arch.name(),
+            self.freq_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_design_is_consistent() {
+        let c = AcceleratorConfig::balanced();
+        assert_eq!(c.sizing.total_compute_pes(), 1 + 8 + 4 + 16);
+        assert_eq!(c.sel_cells_streams(), 8);
+        assert_eq!(c.sel_k_streams(), 32);
+        assert!((c.clock_ns() - 7.142857).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hsmpqg_does_not_split_streams() {
+        let mut c = AcceleratorConfig::balanced();
+        c.sel_k_arch = SelectArch::Hsmpqg;
+        assert_eq!(c.sel_k_streams(), 16);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_frequency() {
+        let c = AcceleratorConfig::balanced();
+        let s = c.cycles_to_seconds(140_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_match_paper_terms() {
+        assert_eq!(SelectArch::Hpq.name(), "HPQ");
+        assert_eq!(SelectArch::Hsmpqg.name(), "HSMPQG");
+        assert_eq!(IndexStore::OnChip.name(), "on-chip");
+        assert_eq!(IndexStore::Hbm.name(), "HBM");
+    }
+
+    #[test]
+    fn summary_mentions_every_stage() {
+        let s = AcceleratorConfig::balanced().summary();
+        for token in ["OPQ", "IVFDist", "SelCells", "BuildLUT", "PQDist", "SelK"] {
+            assert!(s.contains(token), "summary missing {token}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Bounded FIFO model.
+//!
+//! On the FPGA the PEs are connected by HLS streams (FIFOs); the paper counts
+//! their resource consumption explicitly in Equation 2 and relies on them for
+//! the dataflow pipelining that gives the accelerator its stable latency.
+//! This model provides the functional behaviour (bounded queue) plus the
+//! occupancy statistics used to sanity-check that a simulated design is not
+//! starved or back-pressured at steady state.
+
+use std::collections::VecDeque;
+
+/// A bounded single-producer single-consumer FIFO with occupancy statistics.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    depth: usize,
+    buffer: VecDeque<T>,
+    pushes: u64,
+    pops: u64,
+    push_failures: u64,
+    max_occupancy: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given depth (HLS default is 2; the paper's
+    /// inter-stage FIFOs are sized to cover pipeline bubbles).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        Self {
+            depth,
+            buffer: VecDeque::with_capacity(depth),
+            pushes: 0,
+            pops: 0,
+            push_failures: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Maximum number of elements the FIFO can hold.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current number of queued elements.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the FIFO holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Whether the FIFO is full (a push would block the producer).
+    pub fn is_full(&self) -> bool {
+        self.buffer.len() == self.depth
+    }
+
+    /// Attempts to push; returns `false` (and records a stall) when full.
+    pub fn try_push(&mut self, value: T) -> bool {
+        if self.is_full() {
+            self.push_failures += 1;
+            return false;
+        }
+        self.buffer.push_back(value);
+        self.pushes += 1;
+        self.max_occupancy = self.max_occupancy.max(self.buffer.len());
+        true
+    }
+
+    /// Pops the oldest element, if any.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let v = self.buffer.pop_front();
+        if v.is_some() {
+            self.pops += 1;
+        }
+        v
+    }
+
+    /// Total successful pushes.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total successful pops.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Number of push attempts rejected because the FIFO was full
+    /// (back-pressure events).
+    pub fn stalls(&self) -> u64 {
+        self.push_failures
+    }
+
+    /// Highest occupancy observed since creation.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo_ordered() {
+        let mut f = Fifo::new(4);
+        assert!(f.try_push(1));
+        assert!(f.try_push(2));
+        assert!(f.try_push(3));
+        assert_eq!(f.try_pop(), Some(1));
+        assert_eq!(f.try_pop(), Some(2));
+        assert_eq!(f.try_pop(), Some(3));
+        assert_eq!(f.try_pop(), None);
+    }
+
+    #[test]
+    fn full_fifo_rejects_and_counts_stalls() {
+        let mut f = Fifo::new(2);
+        assert!(f.try_push(1));
+        assert!(f.try_push(2));
+        assert!(f.is_full());
+        assert!(!f.try_push(3));
+        assert_eq!(f.stalls(), 1);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn statistics_track_traffic() {
+        let mut f = Fifo::new(3);
+        for i in 0..3 {
+            f.try_push(i);
+        }
+        f.try_pop();
+        f.try_push(99);
+        assert_eq!(f.pushes(), 4);
+        assert_eq!(f.pops(), 1);
+        assert_eq!(f.max_occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_depth_is_rejected() {
+        let _ = Fifo::<u32>::new(0);
+    }
+}

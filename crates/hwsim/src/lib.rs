@@ -1,0 +1,43 @@
+//! FPGA hardware substrate: cycle-level models of the FANNS accelerator.
+//!
+//! The paper implements its accelerators in Vitis HLS on a Xilinx Alveo U55C.
+//! This crate replaces the HLS/silicon path with software models that expose
+//! exactly the quantities the paper's methodology depends on:
+//!
+//! * every processing element (PE) is characterised by a pipeline latency
+//!   `L`, an initiation interval `II` and a workload size `N`, giving the
+//!   per-query cycle count `CC = L + (N − 1) · II` (Equation 4),
+//! * the accelerator is a six-stage dataflow pipeline connected by FIFOs, so
+//!   its throughput is the throughput of its slowest stage (Equation 3),
+//! * the K-selection stages can be built from two microarchitectures —
+//!   hierarchical priority queues (HPQ) or the hybrid
+//!   sorting/merging/priority-queue group (HSMPQG) of §5.1.2 — with different
+//!   cycle and resource trade-offs,
+//! * and the whole thing is *functional*: feeding a real [`fanns_ivf`] index
+//!   through the simulated accelerator produces real neighbour lists whose
+//!   recall can be checked against ground truth.
+//!
+//! Modules:
+//! * [`fifo`] — bounded FIFO with occupancy accounting,
+//! * [`priority_queue`] — systolic priority queue (one replace per 2 cycles),
+//! * [`bitonic`] — bitonic sort and partial-merge networks,
+//! * [`select`] — the HPQ / HSMPQG K-selection units,
+//! * [`stages`] — per-stage PE cycle/latency models,
+//! * [`memory`] — HBM channel and on-chip (BRAM/URAM) capacity model,
+//! * [`config`] — the accelerator design description shared with the
+//!   performance model and the code generator,
+//! * [`accelerator`] — the assembled accelerator simulator.
+
+pub mod accelerator;
+pub mod bitonic;
+pub mod config;
+pub mod fifo;
+pub mod memory;
+pub mod priority_queue;
+pub mod select;
+pub mod stages;
+
+pub use accelerator::{Accelerator, QueryOutcome, SimulationReport};
+pub use config::{AcceleratorConfig, IndexStore, SelectArch, StageSizing};
+pub use select::{KSelectionUnit, SelectionSpec};
+pub use stages::{PeCycleModel, StagePeKind};

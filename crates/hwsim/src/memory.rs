@@ -1,0 +1,174 @@
+//! Device memory models: HBM channels and on-chip BRAM/URAM capacity.
+//!
+//! The Alveo U55C pairs the FPGA fabric with 16 GB of HBM2 exposed as 32
+//! pseudo-channels and roughly 40 MB of on-chip memory (BRAM + URAM). Two of
+//! the paper's design decisions hinge on these numbers: (a) the PQ-coded
+//! database must fit in HBM (which is why the evaluation uses 100M-vector
+//! datasets with 16-byte codes), and (b) small IVF centroid tables can be
+//! cached on-chip while large ones must live in HBM (the `Caches` row of
+//! Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Off-chip HBM model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmModel {
+    /// Total capacity in bytes (16 GB on the U55C).
+    pub capacity_bytes: u64,
+    /// Number of pseudo-channels (32 on the U55C).
+    pub channels: usize,
+    /// Usable bytes per channel per clock cycle at the accelerator clock
+    /// (HBM2 delivers ~460 GB/s aggregate; at 140 MHz that is ~3.3 kB/cycle,
+    /// i.e. ~102 bytes per channel per cycle).
+    pub bytes_per_channel_per_cycle: f64,
+}
+
+impl HbmModel {
+    /// The U55C's HBM2 stack as used in the paper.
+    pub fn u55c() -> Self {
+        Self {
+            capacity_bytes: 16 * 1024 * 1024 * 1024,
+            channels: 32,
+            bytes_per_channel_per_cycle: 102.0,
+        }
+    }
+
+    /// Aggregate bytes per cycle across `channels_used` channels.
+    pub fn bytes_per_cycle(&self, channels_used: usize) -> f64 {
+        self.bytes_per_channel_per_cycle * channels_used.min(self.channels) as f64
+    }
+
+    /// Cycles needed to stream `bytes` through `channels_used` channels.
+    pub fn stream_cycles(&self, bytes: u64, channels_used: usize) -> u64 {
+        let per_cycle = self.bytes_per_cycle(channels_used);
+        if per_cycle <= 0.0 {
+            return u64::MAX;
+        }
+        (bytes as f64 / per_cycle).ceil() as u64
+    }
+
+    /// Whether a PQ-coded database of `code_bytes` plus a centroid table of
+    /// `centroid_bytes` fits in HBM.
+    pub fn fits(&self, code_bytes: u64, centroid_bytes: u64) -> bool {
+        code_bytes.saturating_add(centroid_bytes) <= self.capacity_bytes
+    }
+}
+
+/// On-chip memory (BRAM + URAM) capacity tracker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnChipMemory {
+    /// Total capacity in bytes (~40 MB on the U55C).
+    pub capacity_bytes: u64,
+    allocated_bytes: u64,
+    allocations: Vec<(String, u64)>,
+}
+
+impl OnChipMemory {
+    /// The U55C's on-chip memory.
+    pub fn u55c() -> Self {
+        Self::new(40 * 1024 * 1024)
+    }
+
+    /// Creates an on-chip memory pool of the given capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            allocated_bytes: 0,
+            allocations: Vec::new(),
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity_bytes - self.allocated_bytes
+    }
+
+    /// Whether `bytes` more would still fit.
+    pub fn can_allocate(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Attempts to reserve `bytes` under `label`; returns false (and leaves
+    /// the pool unchanged) if it does not fit.
+    pub fn allocate(&mut self, label: &str, bytes: u64) -> bool {
+        if !self.can_allocate(bytes) {
+            return false;
+        }
+        self.allocated_bytes += bytes;
+        self.allocations.push((label.to_string(), bytes));
+        true
+    }
+
+    /// The recorded allocations (label, bytes).
+    pub fn allocations(&self) -> &[(String, u64)] {
+        &self.allocations
+    }
+
+    /// Utilisation in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_bytes == 0 {
+            return 0.0;
+        }
+        self.allocated_bytes as f64 / self.capacity_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u55c_hbm_has_paper_capacity() {
+        let hbm = HbmModel::u55c();
+        assert_eq!(hbm.capacity_bytes, 16 * 1024 * 1024 * 1024);
+        assert_eq!(hbm.channels, 32);
+    }
+
+    #[test]
+    fn sift100m_pq16_fits_in_hbm() {
+        // 100M vectors × 16 bytes = 1.6 GB of codes, plus a 2^18-cell
+        // centroid table of 128-d floats (134 MB): comfortably fits — the
+        // paper's premise for choosing the 100M scale.
+        let hbm = HbmModel::u55c();
+        let code_bytes = 100_000_000u64 * 16;
+        let centroid_bytes = (1u64 << 18) * 128 * 4;
+        assert!(hbm.fits(code_bytes, centroid_bytes));
+        // Raw 128-d float vectors (51 GB) would not fit.
+        assert!(!hbm.fits(100_000_000u64 * 128 * 4, 0));
+    }
+
+    #[test]
+    fn stream_cycles_scale_with_channels() {
+        let hbm = HbmModel::u55c();
+        let one = hbm.stream_cycles(1_000_000, 1);
+        let many = hbm.stream_cycles(1_000_000, 16);
+        assert!(many < one);
+        assert!(hbm.stream_cycles(0, 4) == 0);
+    }
+
+    #[test]
+    fn on_chip_allocation_respects_capacity() {
+        let mut mem = OnChipMemory::new(1000);
+        assert!(mem.allocate("ivf centroids", 600));
+        assert!(!mem.allocate("lut codebooks", 600));
+        assert!(mem.allocate("lut codebooks", 400));
+        assert_eq!(mem.allocated(), 1000);
+        assert_eq!(mem.available(), 0);
+        assert_eq!(mem.allocations().len(), 2);
+        assert!((mem.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_centroid_table_fits_on_chip_large_does_not() {
+        // nlist = 4096 × 128-d × 4 B = 2 MB: cacheable on a 40 MB device.
+        // nlist = 2^18 × 128-d × 4 B = 134 MB: must go to HBM.
+        let mem = OnChipMemory::u55c();
+        assert!(mem.can_allocate(4096 * 128 * 4));
+        assert!(!mem.can_allocate((1 << 18) * 128 * 4));
+    }
+}

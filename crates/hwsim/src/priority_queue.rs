@@ -1,0 +1,237 @@
+//! Systolic priority queue (§5.1.1, Figure 6).
+//!
+//! The hardware queue is a register array interconnected by compare-swap
+//! units. It supports only the *replace* operation the paper needs: if the
+//! new item is smaller than the current largest retained item, the largest is
+//! evicted and the new item inserted. One replace operation is accepted every
+//! **two** clock cycles: in the first cycle the leftmost node takes the new
+//! item and even/odd neighbours compare-swap, in the second cycle odd/even
+//! neighbours compare-swap. This model reproduces both the functional result
+//! (the queue holds the smallest `len` items seen) and the cycle cost
+//! (`2` cycles per accepted input, plus a drain phase to read results out).
+
+use serde::{Deserialize, Serialize};
+
+/// A (distance, id) element flowing through the selection hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueItem {
+    /// Squared distance (lower is better).
+    pub distance: f32,
+    /// Database or cell identifier.
+    pub id: u32,
+}
+
+impl QueueItem {
+    /// Convenience constructor.
+    pub fn new(distance: f32, id: u32) -> Self {
+        Self { distance, id }
+    }
+
+    /// The padding value used to initialise queue registers (acts like +∞).
+    pub fn padding() -> Self {
+        Self {
+            distance: f32::INFINITY,
+            id: u32::MAX,
+        }
+    }
+}
+
+/// Cycle cost of one replace operation (Figure 6: two-phase compare-swap).
+pub const CYCLES_PER_REPLACE: u64 = 2;
+
+/// A systolic priority queue of fixed length.
+#[derive(Debug, Clone)]
+pub struct SystolicPriorityQueue {
+    /// Register array; the invariant maintained between operations is that it
+    /// contains the smallest items seen so far, with the *largest* of them at
+    /// index 0 (the entry point that the replace operation compares against).
+    registers: Vec<QueueItem>,
+    len: usize,
+    inserts: u64,
+    cycles: u64,
+}
+
+impl SystolicPriorityQueue {
+    /// Creates a queue that retains the `len` smallest items.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "queue length must be positive");
+        Self {
+            registers: vec![QueueItem::padding(); len],
+            len,
+            inserts: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Queue length (the `s` of the paper's K-selection discussion).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether any real item has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.inserts == 0
+    }
+
+    /// Number of replace operations issued.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Clock cycles consumed so far (2 per replace).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The current worst retained distance (the value at the entry register).
+    pub fn threshold(&self) -> f32 {
+        self.registers[0].distance
+    }
+
+    /// Issues one replace operation: the input is retained iff it is smaller
+    /// than the current root; either way two cycles elapse.
+    ///
+    /// The hardware performs the systolic even/odd swap sequence; functionally
+    /// that is equivalent to "evict the maximum, insert the new item", which
+    /// is what we compute here while keeping the max at index 0.
+    pub fn replace(&mut self, item: QueueItem) {
+        self.inserts += 1;
+        self.cycles += CYCLES_PER_REPLACE;
+        if item.distance >= self.registers[0].distance {
+            return;
+        }
+        // Evict the root (current maximum) and re-establish the max at [0].
+        self.registers[0] = item;
+        let (mut max_idx, mut max_val) = (0usize, self.registers[0].distance);
+        for (i, r) in self.registers.iter().enumerate() {
+            if r.distance > max_val {
+                max_val = r.distance;
+                max_idx = i;
+            }
+        }
+        self.registers.swap(0, max_idx);
+    }
+
+    /// Pushes a whole stream through the queue, returning the cycles consumed.
+    pub fn replace_stream(&mut self, items: &[QueueItem]) -> u64 {
+        let before = self.cycles;
+        for &item in items {
+            self.replace(item);
+        }
+        self.cycles - before
+    }
+
+    /// Reads out the retained items sorted by increasing distance. Draining a
+    /// hardware queue of length `s` costs `s` cycles (one pop per cycle),
+    /// which is also accounted here.
+    pub fn drain_sorted(&mut self) -> Vec<QueueItem> {
+        self.cycles += self.len as u64;
+        let mut items: Vec<QueueItem> = self
+            .registers
+            .iter()
+            .copied()
+            .filter(|i| i.distance.is_finite())
+            .collect();
+        items.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        items
+    }
+
+    /// Resets the queue contents (new query) without clearing cycle counters.
+    pub fn reset(&mut self) {
+        self.registers.fill(QueueItem::padding());
+        self.inserts = 0;
+    }
+
+    /// Hardware cost proxies: the number of compare-swap units and registers
+    /// is linear in the queue length (the basis of the paper's linear
+    /// resource-consumption model for priority queues).
+    pub fn compare_swap_units(&self) -> usize {
+        self.len.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn retains_the_smallest_items() {
+        let mut q = SystolicPriorityQueue::new(3);
+        for (i, d) in [9.0f32, 2.0, 7.0, 1.0, 5.0, 0.5].iter().enumerate() {
+            q.replace(QueueItem::new(*d, i as u32));
+        }
+        let out = q.drain_sorted();
+        let dists: Vec<f32> = out.iter().map(|i| i.distance).collect();
+        assert_eq!(dists, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_cycles_per_replace() {
+        let mut q = SystolicPriorityQueue::new(4);
+        let items: Vec<QueueItem> = (0..10).map(|i| QueueItem::new(i as f32, i)).collect();
+        let cycles = q.replace_stream(&items);
+        assert_eq!(cycles, 10 * CYCLES_PER_REPLACE);
+        assert_eq!(q.inserts(), 10);
+    }
+
+    #[test]
+    fn drain_accounts_cycles_and_filters_padding() {
+        let mut q = SystolicPriorityQueue::new(5);
+        q.replace(QueueItem::new(1.0, 7));
+        let before = q.cycles();
+        let out = q.drain_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 7);
+        assert_eq!(q.cycles(), before + 5);
+    }
+
+    #[test]
+    fn reset_clears_contents_but_not_cycles() {
+        let mut q = SystolicPriorityQueue::new(2);
+        q.replace(QueueItem::new(1.0, 1));
+        let cycles = q.cycles();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.cycles(), cycles);
+        assert!(q.drain_sorted().is_empty());
+    }
+
+    #[test]
+    fn threshold_reflects_worst_retained() {
+        let mut q = SystolicPriorityQueue::new(2);
+        assert!(q.threshold().is_infinite());
+        q.replace(QueueItem::new(3.0, 0));
+        q.replace(QueueItem::new(1.0, 1));
+        assert_eq!(q.threshold(), 3.0);
+        q.replace(QueueItem::new(2.0, 2));
+        assert_eq!(q.threshold(), 2.0);
+    }
+
+    #[test]
+    fn resource_proxy_is_linear_in_length() {
+        assert_eq!(SystolicPriorityQueue::new(10).compare_swap_units(), 9);
+        assert_eq!(SystolicPriorityQueue::new(1).compare_swap_units(), 0);
+    }
+
+    proptest! {
+        /// The queue must always agree with a software sort-and-truncate.
+        #[test]
+        fn matches_sort_truncate(len in 1usize..20, values in prop::collection::vec(0.0f32..1000.0, 0..200)) {
+            let mut q = SystolicPriorityQueue::new(len);
+            for (i, v) in values.iter().enumerate() {
+                q.replace(QueueItem::new(*v, i as u32));
+            }
+            let got: Vec<f32> = q.drain_sorted().iter().map(|i| i.distance).collect();
+            let mut expected = values.clone();
+            expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            expected.truncate(len);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

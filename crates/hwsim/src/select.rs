@@ -1,0 +1,372 @@
+//! Parallel K-selection microarchitectures (§5.1.2).
+//!
+//! Both selection stages (SelCells and SelK) must pick the `s` smallest
+//! values per query out of `z` parallel input streams, where each stream
+//! produces `v` values per query. The paper proposes two designs:
+//!
+//! * **HPQ** — hierarchical priority queue: `2z` first-level systolic queues
+//!   (two per stream, because a queue accepts one replace every two cycles)
+//!   feed one second-level queue that reduces the `2z·s` survivors to `s`.
+//! * **HSMPQG** — hybrid sorting/merging/priority-queue group: bitonic sort
+//!   networks of width `w = next_pow2(s)` sort groups of streams each cycle,
+//!   bitonic partial mergers reduce them to one sorted `w`-vector per cycle,
+//!   and a much smaller priority-queue group absorbs `s` values per cycle.
+//!
+//! Each unit is modelled functionally (produces the exact selection) and with
+//! a cycle model used by the performance model, plus resource proxies
+//! (priority-queue registers, compare-swap units) used by the resource model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitonic::{
+    merge_compare_swap_units, merge_latency_cycles, next_power_of_two, sort_compare_swap_units,
+    sort_latency_cycles, BitonicPartialMerger, BitonicSorter,
+};
+use crate::config::SelectArch;
+use crate::priority_queue::{QueueItem, SystolicPriorityQueue};
+
+/// Geometry of a K-selection problem: select `s` out of `z` streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SelectionSpec {
+    /// Microarchitecture to use.
+    pub arch: SelectArch,
+    /// Number of parallel input streams (`z`).
+    pub num_streams: usize,
+    /// Number of results to keep per query (`s`).
+    pub select_count: usize,
+}
+
+impl SelectionSpec {
+    /// Creates a spec, clamping degenerate values to 1.
+    pub fn new(arch: SelectArch, num_streams: usize, select_count: usize) -> Self {
+        Self {
+            arch,
+            num_streams: num_streams.max(1),
+            select_count: select_count.max(1),
+        }
+    }
+
+    /// Whether the HSMPQG design is even applicable: it filters per-cycle
+    /// winners, which only helps when `s < z` (the paper notes HPQ is the
+    /// only option when `s ≥ z`).
+    pub fn hsmpqg_applicable(&self) -> bool {
+        self.select_count < self.num_streams
+    }
+
+    /// Bitonic network width used by the HSMPQG design.
+    pub fn hsmpqg_width(&self) -> usize {
+        next_power_of_two(self.select_count).max(2)
+    }
+
+    /// Number of bitonic sorters needed to cover all streams (HSMPQG).
+    pub fn hsmpqg_sorters(&self) -> usize {
+        self.num_streams.div_ceil(self.hsmpqg_width()).max(1)
+    }
+
+    /// Number of partial mergers (a reduction tree over the sorters).
+    pub fn hsmpqg_mergers(&self) -> usize {
+        self.hsmpqg_sorters().saturating_sub(1)
+    }
+
+    /// First-level priority queue count.
+    pub fn first_level_queues(&self) -> usize {
+        match self.arch {
+            // Two queues per stream: one replace per two cycles.
+            SelectArch::Hpq => 2 * self.num_streams,
+            // The merger emits s winners per cycle; absorbing them needs 2s queues.
+            SelectArch::Hsmpqg => 2 * self.select_count,
+        }
+    }
+
+    /// Total number of priority-queue registers — the linear resource proxy
+    /// of §6.2 ("the numbers of registers and compare-swap units in a
+    /// priority queue are linear to the queue length").
+    pub fn priority_queue_registers(&self) -> usize {
+        // Every first-level queue has length s, plus one second-level queue.
+        (self.first_level_queues() + 1) * self.select_count
+    }
+
+    /// Total compare-swap units in the bitonic networks (zero for HPQ).
+    pub fn bitonic_compare_swap_units(&self) -> usize {
+        match self.arch {
+            SelectArch::Hpq => 0,
+            SelectArch::Hsmpqg => {
+                let w = self.hsmpqg_width();
+                self.hsmpqg_sorters() * sort_compare_swap_units(w)
+                    + self.hsmpqg_mergers() * merge_compare_swap_units(w)
+            }
+        }
+    }
+
+    /// Cycle count for one query in which every stream delivers
+    /// `values_per_stream` elements.
+    ///
+    /// The stage has two phases: *ingest* (absorbing the input streams, fully
+    /// pipelined at one element per stream per cycle) and *reduction*
+    /// (draining the first-level queues through the final queue). With
+    /// double-buffered queues the two phases of consecutive queries overlap,
+    /// so the stage's per-query cycle count is the slower of the two phases
+    /// plus the (small) pipeline latency.
+    pub fn cycles_per_query(&self, values_per_stream: u64) -> u64 {
+        let s = self.select_count as u64;
+        let z = self.num_streams as u64;
+        match self.arch {
+            SelectArch::Hpq => {
+                // First level: each stream is split across two queues, so the
+                // pair absorbs one element per cycle. Reduction: the single
+                // second-level queue replays the 2z·s survivors at one
+                // replace per two cycles.
+                let ingest = values_per_stream;
+                let reduce = 2 * (2 * z * s) + 2 * s;
+                ingest.max(reduce) + 4
+            }
+            SelectArch::Hsmpqg => {
+                // Ingest is fully pipelined at one element per stream per
+                // cycle through the sort/merge networks; the priority-queue
+                // group absorbs s winners per cycle and its own reduction
+                // covers only 2s·s survivors.
+                let w = self.hsmpqg_width();
+                let pipeline = sort_latency_cycles(w)
+                    + self.hsmpqg_merge_levels() * merge_latency_cycles(w);
+                let ingest = values_per_stream;
+                let reduce = 2 * (2 * s * s) + 2 * s;
+                ingest.max(reduce) + pipeline + 4
+            }
+        }
+    }
+
+    /// Depth of the merger reduction tree.
+    fn hsmpqg_merge_levels(&self) -> u64 {
+        let sorters = self.hsmpqg_sorters();
+        (usize::BITS - (sorters.max(1) - 1).leading_zeros()) as u64
+    }
+}
+
+/// A functional + cycle-accounting K-selection unit.
+#[derive(Debug, Clone)]
+pub struct KSelectionUnit {
+    spec: SelectionSpec,
+    cycles: u64,
+    queries: u64,
+}
+
+impl KSelectionUnit {
+    /// Creates a unit for the given selection problem.
+    pub fn new(spec: SelectionSpec) -> Self {
+        Self {
+            spec,
+            cycles: 0,
+            queries: 0,
+        }
+    }
+
+    /// The unit's specification.
+    pub fn spec(&self) -> SelectionSpec {
+        self.spec
+    }
+
+    /// Total cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of queries processed.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Processes one query: `streams[i]` is the sequence of items produced by
+    /// input stream `i`. Returns the `s` smallest items overall, sorted, and
+    /// advances the cycle counter according to the microarchitecture model.
+    pub fn select(&mut self, streams: &[Vec<QueueItem>]) -> Vec<QueueItem> {
+        assert!(
+            streams.len() <= self.spec.num_streams,
+            "{} streams exceed configured {}",
+            streams.len(),
+            self.spec.num_streams
+        );
+        let values_per_stream = streams.iter().map(|s| s.len() as u64).max().unwrap_or(0);
+        self.cycles += self.spec.cycles_per_query(values_per_stream);
+        self.queries += 1;
+
+        match self.spec.arch {
+            SelectArch::Hpq => self.select_hpq(streams),
+            SelectArch::Hsmpqg => self.select_hsmpqg(streams),
+        }
+    }
+
+    /// Functional HPQ: per-stream queues followed by a global reduction.
+    fn select_hpq(&self, streams: &[Vec<QueueItem>]) -> Vec<QueueItem> {
+        let s = self.spec.select_count;
+        let mut second = SystolicPriorityQueue::new(s);
+        for stream in streams {
+            let mut first = SystolicPriorityQueue::new(s);
+            for &item in stream {
+                first.replace(item);
+            }
+            for item in first.drain_sorted() {
+                second.replace(item);
+            }
+        }
+        second.drain_sorted()
+    }
+
+    /// Functional HSMPQG: per-cycle bitonic sort across streams, partial
+    /// merge, then a priority queue over the per-cycle winners.
+    fn select_hsmpqg(&self, streams: &[Vec<QueueItem>]) -> Vec<QueueItem> {
+        let s = self.spec.select_count;
+        let w = self.spec.hsmpqg_width();
+        let sorter = BitonicSorter::new(w);
+        let merger = BitonicPartialMerger::new(w);
+        let mut queue = SystolicPriorityQueue::new(s);
+
+        let max_len = streams.iter().map(|st| st.len()).max().unwrap_or(0);
+        for t in 0..max_len {
+            // One element from each stream this "cycle".
+            let slice: Vec<QueueItem> = streams
+                .iter()
+                .map(|st| st.get(t).copied().unwrap_or_else(QueueItem::padding))
+                .collect();
+            // Sort groups of w streams, then merge pair-wise down to one
+            // sorted w-vector of the cycle's winners.
+            let mut sorted_groups: Vec<Vec<QueueItem>> = slice
+                .chunks(w)
+                .map(|chunk| sorter.sort(chunk))
+                .collect();
+            while sorted_groups.len() > 1 {
+                let mut next = Vec::with_capacity(sorted_groups.len().div_ceil(2));
+                let mut iter = sorted_groups.chunks(2);
+                for pair in iter.by_ref() {
+                    if pair.len() == 2 {
+                        next.push(merger.merge_smallest(&pair[0], &pair[1]));
+                    } else {
+                        next.push(pair[0].clone());
+                    }
+                }
+                sorted_groups = next;
+            }
+            // Insert the cycle's best s values into the queue.
+            for item in sorted_groups[0].iter().take(s) {
+                if item.distance.is_finite() {
+                    queue.replace(*item);
+                }
+            }
+        }
+        queue.drain_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn make_streams(z: usize, v: usize, seed: u64) -> Vec<Vec<QueueItem>> {
+        // Deterministic pseudo-random values without an RNG dependency.
+        let mut streams = Vec::with_capacity(z);
+        let mut id = 0u32;
+        for i in 0..z {
+            let mut s = Vec::with_capacity(v);
+            for j in 0..v {
+                let x = ((seed + 1) * 2654435761)
+                    .wrapping_mul((i as u64 + 7) * 40503 + j as u64 * 9176)
+                    % 100_000;
+                s.push(QueueItem::new(x as f32, id));
+                id += 1;
+            }
+            streams.push(s);
+        }
+        streams
+    }
+
+    fn reference_select(streams: &[Vec<QueueItem>], s: usize) -> Vec<f32> {
+        let mut all: Vec<f32> = streams.iter().flatten().map(|i| i.distance).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.truncate(s);
+        all
+    }
+
+    #[test]
+    fn hpq_selects_global_minimum_set() {
+        let streams = make_streams(4, 30, 1);
+        let mut unit = KSelectionUnit::new(SelectionSpec::new(SelectArch::Hpq, 4, 5));
+        let out = unit.select(&streams);
+        let got: Vec<f32> = out.iter().map(|i| i.distance).collect();
+        assert_eq!(got, reference_select(&streams, 5));
+        assert!(unit.cycles() > 0);
+        assert_eq!(unit.queries(), 1);
+    }
+
+    #[test]
+    fn hsmpqg_selects_global_minimum_set() {
+        let streams = make_streams(24, 20, 2);
+        let mut unit = KSelectionUnit::new(SelectionSpec::new(SelectArch::Hsmpqg, 24, 5));
+        let out = unit.select(&streams);
+        let got: Vec<f32> = out.iter().map(|i| i.distance).collect();
+        assert_eq!(got, reference_select(&streams, 5));
+    }
+
+    #[test]
+    fn architectures_agree_functionally() {
+        let streams = make_streams(16, 25, 3);
+        let mut hpq = KSelectionUnit::new(SelectionSpec::new(SelectArch::Hpq, 16, 8));
+        let mut hybrid = KSelectionUnit::new(SelectionSpec::new(SelectArch::Hsmpqg, 16, 8));
+        let a: Vec<f32> = hpq.select(&streams).iter().map(|i| i.distance).collect();
+        let b: Vec<f32> = hybrid.select(&streams).iter().map(|i| i.distance).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hsmpqg_saves_queue_registers_when_streams_outnumber_results() {
+        // The paper's Figure 7 case: ~80 streams, s = 10.
+        let hpq = SelectionSpec::new(SelectArch::Hpq, 80, 10);
+        let hybrid = SelectionSpec::new(SelectArch::Hsmpqg, 80, 10);
+        assert!(hybrid.priority_queue_registers() < hpq.priority_queue_registers());
+        // But the hybrid pays for bitonic networks.
+        assert!(hybrid.bitonic_compare_swap_units() > 0);
+        assert_eq!(hpq.bitonic_compare_swap_units(), 0);
+    }
+
+    #[test]
+    fn hsmpqg_not_applicable_when_s_exceeds_streams() {
+        let spec = SelectionSpec::new(SelectArch::Hsmpqg, 4, 100);
+        assert!(!spec.hsmpqg_applicable());
+        let spec = SelectionSpec::new(SelectArch::Hsmpqg, 200, 100);
+        assert!(spec.hsmpqg_applicable());
+    }
+
+    #[test]
+    fn cycle_model_grows_with_workload_and_k() {
+        let spec = SelectionSpec::new(SelectArch::Hpq, 8, 10);
+        assert!(spec.cycles_per_query(1000) > spec.cycles_per_query(100));
+        let small_k = SelectionSpec::new(SelectArch::Hpq, 8, 10);
+        let large_k = SelectionSpec::new(SelectArch::Hpq, 8, 100);
+        assert!(large_k.cycles_per_query(1000) > small_k.cycles_per_query(1000));
+    }
+
+    #[test]
+    fn figure7_geometry_matches_paper() {
+        // 64 < z <= 80, s = 10: five sorters of width 16 (the paper's example).
+        let spec = SelectionSpec::new(SelectArch::Hsmpqg, 80, 10);
+        assert_eq!(spec.hsmpqg_width(), 16);
+        assert_eq!(spec.hsmpqg_sorters(), 5);
+        // 16 < z <= 32: two sorters; 32 < z <= 48: three sorters.
+        assert_eq!(SelectionSpec::new(SelectArch::Hsmpqg, 32, 10).hsmpqg_sorters(), 2);
+        assert_eq!(SelectionSpec::new(SelectArch::Hsmpqg, 48, 10).hsmpqg_sorters(), 3);
+    }
+
+    proptest! {
+        /// Both architectures must always match the reference selection.
+        #[test]
+        fn selection_matches_reference(z in 1usize..12, v in 1usize..40, s in 1usize..12, seed in 0u64..50) {
+            let streams = make_streams(z, v, seed);
+            let expected = reference_select(&streams, s);
+            let mut hpq = KSelectionUnit::new(SelectionSpec::new(SelectArch::Hpq, z, s));
+            let got: Vec<f32> = hpq.select(&streams).iter().map(|i| i.distance).collect();
+            prop_assert_eq!(&got, &expected);
+            let mut hybrid = KSelectionUnit::new(SelectionSpec::new(SelectArch::Hsmpqg, z, s));
+            let got2: Vec<f32> = hybrid.select(&streams).iter().map(|i| i.distance).collect();
+            prop_assert_eq!(&got2, &expected);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-stage processing-element (PE) cycle models.
+//!
+//! Following §6.3 of the paper, a PE is characterised by its pipeline latency
+//! `L` and initiation interval `II`; processing `N` input elements takes
+//! `CC = L + (N − 1) · II` cycles (Equation 4). The constants below play the
+//! role of the numbers the authors obtained by implementing each PE in Vitis
+//! HLS and reading the synthesis reports; they are chosen to be consistent
+//! with the architectural descriptions in §5.2 (e.g. a PQDist PE consumes one
+//! 16-byte code per cycle through an m-wide add tree, an IVFDist PE needs
+//! several cycles per 128-dimensional centroid distance).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::IndexStore;
+
+/// The kinds of PEs instantiated in the computation stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StagePeKind {
+    /// Stage OPQ: query × rotation-matrix multiplication.
+    Opq,
+    /// Stage IVFDist: query-to-centroid distances.
+    IvfDist,
+    /// Stage BuildLUT: query-to-sub-centroid distance table construction.
+    BuildLut,
+    /// Stage PQDist: ADC lookups + add tree over PQ codes.
+    PqDist,
+}
+
+impl StagePeKind {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StagePeKind::Opq => "OPQ",
+            StagePeKind::IvfDist => "IVFDist",
+            StagePeKind::BuildLut => "BuildLUT",
+            StagePeKind::PqDist => "PQDist",
+        }
+    }
+}
+
+/// The `L`/`II` cycle model of one PE (Equation 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeCycleModel {
+    /// Pipeline latency in cycles: time for one input to traverse the PE.
+    pub latency: u64,
+    /// Initiation interval in cycles: time between accepting two inputs.
+    pub initiation_interval: u64,
+}
+
+impl PeCycleModel {
+    /// Creates a model; both values are clamped to at least 1 cycle.
+    pub fn new(latency: u64, initiation_interval: u64) -> Self {
+        Self {
+            latency: latency.max(1),
+            initiation_interval: initiation_interval.max(1),
+        }
+    }
+
+    /// Cycles to process `n` input elements: `L + (N − 1) · II` (Equation 4).
+    pub fn cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            return self.latency;
+        }
+        self.latency + (n - 1) * self.initiation_interval
+    }
+
+    /// Queries per second of this PE at `freq_mhz`, given `n` elements per
+    /// query (the per-PE form of Equation 4's QPS derivation).
+    pub fn qps(&self, n: u64, freq_mhz: f64) -> f64 {
+        freq_mhz * 1e6 / self.cycles(n) as f64
+    }
+}
+
+/// How many parallel multiply–accumulate lanes a computation PE has. This is
+/// the "PE size" knob of §5.2.1: larger PEs deliver more work per cycle but
+/// are harder to place and route.
+pub const OPQ_LANES: u64 = 16;
+/// Lanes of an IVFDist PE (dimensions processed per cycle per centroid).
+pub const IVF_DIST_LANES: u64 = 16;
+/// Lanes of a BuildLUT PE (sub-vector dimensions processed per cycle).
+pub const BUILD_LUT_LANES: u64 = 8;
+
+/// Extra access latency (cycles) when a table is streamed from HBM instead of
+/// held in BRAM/URAM. HBM on the U55C has ~100 ns access latency ≈ 14 cycles
+/// at 140 MHz; burst streaming hides most but not all of it.
+pub const HBM_EXTRA_LATENCY: u64 = 24;
+/// Initiation-interval penalty (in additional cycles per element) when the
+/// working set is streamed from HBM and exceeds the burst-friendly size.
+pub const HBM_II_PENALTY: u64 = 1;
+
+/// Cycle model for one **Stage OPQ** PE processing a `dim`-dimensional query
+/// against a `dim × dim` rotation matrix: one output element (row) per
+/// `dim / OPQ_LANES` cycles.
+pub fn opq_pe_model(dim: usize) -> PeCycleModel {
+    let ii = (dim as u64).div_ceil(OPQ_LANES);
+    // Latency: fill the multiply-accumulate pipeline plus the adder tree.
+    PeCycleModel::new(ii + 12, ii)
+}
+
+/// Elements (`N`) a single Stage OPQ PE must produce per query: the `dim`
+/// output components, divided across `pes` PEs.
+pub fn opq_elements_per_pe(dim: usize, pes: usize) -> u64 {
+    (dim as u64).div_ceil(pes.max(1) as u64)
+}
+
+/// Cycle model for one **Stage IVFDist** PE: one centroid distance per
+/// `dim / IVF_DIST_LANES` cycles, with an HBM penalty when the centroid table
+/// is not cached on-chip.
+pub fn ivf_dist_pe_model(dim: usize, store: IndexStore) -> PeCycleModel {
+    let base_ii = (dim as u64).div_ceil(IVF_DIST_LANES);
+    match store {
+        IndexStore::OnChip => PeCycleModel::new(base_ii + 8, base_ii),
+        IndexStore::Hbm => PeCycleModel::new(base_ii + 8 + HBM_EXTRA_LATENCY, base_ii + HBM_II_PENALTY),
+    }
+}
+
+/// Elements (`N`) per Stage IVFDist PE: `nlist / pes` centroid distances
+/// (the paper's example of a constant-N stage).
+pub fn ivf_dist_elements_per_pe(nlist: usize, pes: usize) -> u64 {
+    (nlist as u64).div_ceil(pes.max(1) as u64)
+}
+
+/// Cycle model for one **Stage BuildLUT** PE: one table entry (distance
+/// between a query sub-vector and one sub-quantizer centroid) per
+/// `dsub / BUILD_LUT_LANES` cycles.
+pub fn build_lut_pe_model(dsub: usize, store: IndexStore) -> PeCycleModel {
+    let base_ii = (dsub as u64).div_ceil(BUILD_LUT_LANES);
+    match store {
+        IndexStore::OnChip => PeCycleModel::new(base_ii + 10, base_ii),
+        IndexStore::Hbm => PeCycleModel::new(base_ii + 10 + HBM_EXTRA_LATENCY, base_ii + HBM_II_PENALTY),
+    }
+}
+
+/// Elements (`N`) per Stage BuildLUT PE: the `m × ksub` table entries divided
+/// across `pes` PEs.
+pub fn build_lut_elements_per_pe(m: usize, ksub: usize, pes: usize) -> u64 {
+    ((m * ksub) as u64).div_ceil(pes.max(1) as u64)
+}
+
+/// Cycle model for one **Stage PQDist** PE (Figure 8): the distance lookup
+/// table is cached in `m` parallel BRAM slices, `m` lookups happen per cycle
+/// and feed an add tree, so the PE consumes one PQ code per cycle. The
+/// latency covers loading the per-query table into the BRAM slices (one row
+/// of `m` entries per cycle, i.e. `ksub` cycles) plus the add-tree depth.
+pub fn pq_dist_pe_model(m: usize, ksub: usize, _nprobe: usize) -> PeCycleModel {
+    let table_load = ksub as u64;
+    let add_tree_depth = (m.max(2) as u64).ilog2() as u64 + 2;
+    PeCycleModel::new(table_load + add_tree_depth + 8, 1)
+}
+
+/// Elements (`N`) per Stage PQDist PE: the expected number of PQ codes
+/// scanned per query divided across `pes` PEs.
+pub fn pq_dist_elements_per_pe(expected_scanned_codes: f64, pes: usize) -> u64 {
+    (expected_scanned_codes / pes.max(1) as f64).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation4_is_implemented_exactly() {
+        let pe = PeCycleModel::new(10, 2);
+        assert_eq!(pe.cycles(1), 10);
+        assert_eq!(pe.cycles(5), 10 + 4 * 2);
+        assert_eq!(pe.cycles(0), 10);
+    }
+
+    #[test]
+    fn qps_scales_inversely_with_workload() {
+        let pe = PeCycleModel::new(10, 1);
+        let fast = pe.qps(100, 140.0);
+        let slow = pe.qps(1000, 140.0);
+        assert!(fast > slow);
+        // 140 MHz / (10 + 99) cycles ≈ 1.284 M QPS.
+        assert!((fast - 140.0e6 / 109.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn hbm_store_is_slower_than_on_chip() {
+        let on_chip = ivf_dist_pe_model(128, IndexStore::OnChip);
+        let hbm = ivf_dist_pe_model(128, IndexStore::Hbm);
+        assert!(hbm.latency > on_chip.latency);
+        assert!(hbm.initiation_interval >= on_chip.initiation_interval);
+        assert!(hbm.cycles(1000) > on_chip.cycles(1000));
+    }
+
+    #[test]
+    fn element_counts_divide_work_across_pes() {
+        assert_eq!(ivf_dist_elements_per_pe(8192, 8), 1024);
+        assert_eq!(ivf_dist_elements_per_pe(8192, 3), 2731);
+        assert_eq!(build_lut_elements_per_pe(16, 256, 4), 1024);
+        assert_eq!(opq_elements_per_pe(128, 1), 128);
+        assert_eq!(pq_dist_elements_per_pe(10_000.0, 16), 625);
+    }
+
+    #[test]
+    fn pq_dist_pe_streams_one_code_per_cycle() {
+        let pe = pq_dist_pe_model(16, 256, 16);
+        assert_eq!(pe.initiation_interval, 1);
+        // Scanning 100k codes should be dominated by the II term.
+        let cycles = pe.cycles(100_000);
+        assert!(cycles < 110_000);
+        assert!(cycles >= 100_000);
+    }
+
+    #[test]
+    fn larger_dimension_slows_ivf_dist() {
+        let d96 = ivf_dist_pe_model(96, IndexStore::OnChip);
+        let d128 = ivf_dist_pe_model(128, IndexStore::OnChip);
+        assert!(d128.cycles(1000) >= d96.cycles(1000));
+    }
+
+    #[test]
+    fn stage_names_are_paper_terms() {
+        assert_eq!(StagePeKind::Opq.name(), "OPQ");
+        assert_eq!(StagePeKind::PqDist.name(), "PQDist");
+    }
+}

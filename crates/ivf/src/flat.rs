@@ -1,0 +1,94 @@
+//! Exact flat (brute-force) index.
+//!
+//! Used as the reference answer for recall evaluation and as the "no index"
+//! extreme of the algorithm parameter space. Unlike
+//! [`fanns_dataset::ground_truth`], which is a free function over a dataset,
+//! this wraps the database in the same `search`-shaped API as the IVF-PQ
+//! index so baselines can be swapped behind a common interface.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use fanns_dataset::types::VectorDataset;
+use fanns_quantize::distance::l2_sq;
+
+use crate::search::{SearchResult, TopK};
+
+/// An exact L2 flat index (stores raw vectors, scans all of them per query).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatIndex {
+    vectors: VectorDataset,
+}
+
+impl FlatIndex {
+    /// Wraps a dataset as a flat index.
+    pub fn new(vectors: VectorDataset) -> Self {
+        Self { vectors }
+    }
+
+    /// Number of indexed vectors.
+    pub fn ntotal(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    /// Exact top-`k` search for one query.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
+        assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
+        let mut topk = TopK::new(k);
+        for (id, v) in self.vectors.iter().enumerate() {
+            topk.push(l2_sq(query, v), id as u32);
+        }
+        topk.into_sorted()
+    }
+
+    /// Exact top-`k` search for a batch of queries, parallel over queries.
+    pub fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<SearchResult>> {
+        queries.par_iter().map(|q| self.search(q, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::ground_truth::exact_topk;
+    use fanns_dataset::synth::SyntheticSpec;
+
+    #[test]
+    fn flat_search_matches_ground_truth_helper() {
+        let (db, queries) = SyntheticSpec::sift_small(31).generate();
+        let index = FlatIndex::new(db.clone());
+        for q in 0..5 {
+            let res = index.search(queries.get(q), 10);
+            let (ids, dists) = exact_topk(&db, queries.get(q), 10);
+            let res_ids: Vec<usize> = res.iter().map(|r| r.id as usize).collect();
+            assert_eq!(res_ids, ids);
+            for (r, d) in res.iter().zip(dists.iter()) {
+                assert!((r.distance - d).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let (db, queries) = SyntheticSpec::sift_small(32).generate();
+        let index = FlatIndex::new(db);
+        let refs: Vec<&[f32]> = (0..4).map(|q| queries.get(q)).collect();
+        let batch = index.search_batch(&refs, 5);
+        for (q, r) in refs.iter().enumerate() {
+            assert_eq!(batch[q], index.search(r, 5));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_database_returns_everything() {
+        let db = VectorDataset::from_vectors(1, (0..5).map(|i| [i as f32]));
+        let index = FlatIndex::new(db);
+        let res = index.search(&[2.0], 100);
+        assert_eq!(res.len(), 5);
+    }
+}

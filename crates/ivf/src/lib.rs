@@ -1,0 +1,27 @@
+//! IVF-PQ vector search — the algorithm the paper accelerates.
+//!
+//! This crate implements the full software (CPU) side of IVF-PQ as described
+//! in §2 of the paper:
+//!
+//! * [`params`] — the algorithm parameter space of Table 2 (`nlist`,
+//!   `nprobe`, `K`, OPQ on/off, `m`),
+//! * [`index`] — index training (coarse k-means + PQ, optionally OPQ) and
+//!   population of the inverted lists,
+//! * [`search`] — the six query-time stages (OPQ → IVFDist → SelCells →
+//!   BuildLUT → PQDist → SelK) with per-stage wall-clock instrumentation used
+//!   to reproduce the bottleneck analysis of Figure 3,
+//! * [`flat`] — an exact flat index used for ground truth and sanity checks,
+//! * [`baseline_cpu`] — the multithreaded batch/online CPU searcher standing
+//!   in for the paper's Faiss CPU baseline.
+
+pub mod baseline_cpu;
+pub mod flat;
+pub mod index;
+pub mod params;
+pub mod search;
+
+pub use baseline_cpu::CpuSearcher;
+pub use flat::FlatIndex;
+pub use index::{IvfPqIndex, IvfPqTrainConfig};
+pub use params::{IvfPqParams, SearchStage, ALL_STAGES};
+pub use search::{SearchResult, StageTimings};

@@ -1,0 +1,154 @@
+//! The algorithm parameter space (Table 2 of the paper) and the six search
+//! stages shared by every component of the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// The six IVF-PQ query-serving stages (§2.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SearchStage {
+    /// Transform the query vector by the OPQ rotation matrix.
+    Opq,
+    /// Evaluate distances between the query and all `nlist` cell centroids.
+    IvfDist,
+    /// Select the `nprobe` closest cells.
+    SelCells,
+    /// Construct the per-query distance lookup table (`m × ksub`).
+    BuildLut,
+    /// Approximate distances to the PQ codes in the selected cells (ADC).
+    PqDist,
+    /// Collect the `K` smallest distances.
+    SelK,
+}
+
+/// All six stages in pipeline order.
+pub const ALL_STAGES: [SearchStage; 6] = [
+    SearchStage::Opq,
+    SearchStage::IvfDist,
+    SearchStage::SelCells,
+    SearchStage::BuildLut,
+    SearchStage::PqDist,
+    SearchStage::SelK,
+];
+
+impl SearchStage {
+    /// Short display name matching the paper's figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchStage::Opq => "OPQ",
+            SearchStage::IvfDist => "IVFDist",
+            SearchStage::SelCells => "SelCells",
+            SearchStage::BuildLut => "BuildLUT",
+            SearchStage::PqDist => "PQDist",
+            SearchStage::SelK => "SelK",
+        }
+    }
+
+    /// Position of the stage in the pipeline (0-based).
+    pub fn position(&self) -> usize {
+        ALL_STAGES.iter().position(|s| s == self).expect("stage is in ALL_STAGES")
+    }
+}
+
+/// Query-time algorithm parameters (the tunable part of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IvfPqParams {
+    /// Total number of Voronoi cells in the index.
+    pub nlist: usize,
+    /// Number of cells scanned per query.
+    pub nprobe: usize,
+    /// Number of results to return.
+    pub k: usize,
+    /// Number of PQ sub-quantizers (bytes per code).
+    pub m: usize,
+    /// Whether the index applies an OPQ rotation at query time.
+    pub opq: bool,
+}
+
+impl IvfPqParams {
+    /// The paper's standard configuration skeleton: 16-byte PQ codes.
+    pub fn new(nlist: usize, nprobe: usize, k: usize) -> Self {
+        Self {
+            nlist,
+            nprobe,
+            k,
+            m: 16,
+            opq: false,
+        }
+    }
+
+    /// Builder-style OPQ toggle.
+    pub fn with_opq(mut self, opq: bool) -> Self {
+        self.opq = opq;
+        self
+    }
+
+    /// Builder-style `m` override.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Builder-style `nprobe` override.
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe;
+        self
+    }
+
+    /// Builder-style `K` override.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Clamp `nprobe` to `nlist` (probing more cells than exist is a no-op).
+    pub fn effective_nprobe(&self) -> usize {
+        self.nprobe.min(self.nlist).max(1)
+    }
+
+    /// A short human-readable index label like `OPQ+IVF8192`.
+    pub fn index_label(&self) -> String {
+        if self.opq {
+            format!("OPQ+IVF{}", self.nlist)
+        } else {
+            format!("IVF{}", self.nlist)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_and_positions() {
+        assert_eq!(SearchStage::Opq.name(), "OPQ");
+        assert_eq!(SearchStage::SelK.name(), "SelK");
+        assert_eq!(SearchStage::Opq.position(), 0);
+        assert_eq!(SearchStage::SelK.position(), 5);
+        assert_eq!(ALL_STAGES.len(), 6);
+    }
+
+    #[test]
+    fn params_builders_compose() {
+        let p = IvfPqParams::new(1024, 16, 10).with_opq(true).with_m(8).with_k(100);
+        assert_eq!(p.nlist, 1024);
+        assert_eq!(p.nprobe, 16);
+        assert_eq!(p.k, 100);
+        assert_eq!(p.m, 8);
+        assert!(p.opq);
+        assert_eq!(p.index_label(), "OPQ+IVF1024");
+    }
+
+    #[test]
+    fn effective_nprobe_is_clamped() {
+        let p = IvfPqParams::new(8, 100, 10);
+        assert_eq!(p.effective_nprobe(), 8);
+        let p = IvfPqParams::new(8, 0, 10);
+        assert_eq!(p.effective_nprobe(), 1);
+    }
+
+    #[test]
+    fn index_label_without_opq() {
+        assert_eq!(IvfPqParams::new(4096, 5, 1).index_label(), "IVF4096");
+    }
+}

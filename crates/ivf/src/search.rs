@@ -1,0 +1,452 @@
+//! The six-stage IVF-PQ query pipeline with per-stage instrumentation.
+//!
+//! Queries run through the stages of §2.1.3 in order. Each stage is a
+//! separate function so that (a) wall-clock time can be attributed per stage —
+//! the measurement behind the bottleneck analysis of Figure 3 — and (b) the
+//! stages map one-to-one onto the hardware PEs modelled in `fanns-hwsim`.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+use fanns_quantize::pq::DistanceTable;
+
+use crate::index::IvfPqIndex;
+use crate::params::{SearchStage, ALL_STAGES};
+
+/// One search hit: database id and approximated squared distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Database vector id.
+    pub id: u32,
+    /// Approximated (ADC) squared L2 distance.
+    pub distance: f32,
+}
+
+/// Wall-clock time spent in each of the six stages for one or more queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Nanoseconds spent per stage, indexed by [`SearchStage::position`].
+    pub nanos: [u64; 6],
+    /// Number of queries the timings cover.
+    pub queries: usize,
+}
+
+impl StageTimings {
+    /// Time spent in `stage`.
+    pub fn get(&self, stage: SearchStage) -> Duration {
+        Duration::from_nanos(self.nanos[stage.position()])
+    }
+
+    /// Adds a measurement for `stage`.
+    pub fn record(&mut self, stage: SearchStage, elapsed: Duration) {
+        self.nanos[stage.position()] += elapsed.as_nanos() as u64;
+    }
+
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    /// Per-stage share of the total time (sums to 1 unless total is zero).
+    /// This is the quantity plotted in Figure 3.
+    pub fn fractions(&self) -> [f64; 6] {
+        let total: u64 = self.nanos.iter().sum();
+        let mut out = [0.0; 6];
+        if total == 0 {
+            return out;
+        }
+        for i in 0..6 {
+            out[i] = self.nanos[i] as f64 / total as f64;
+        }
+        out
+    }
+
+    /// The stage with the largest share of time — the bottleneck.
+    pub fn bottleneck(&self) -> SearchStage {
+        let mut best = SearchStage::Opq;
+        let mut best_nanos = 0u64;
+        for stage in ALL_STAGES {
+            let n = self.nanos[stage.position()];
+            if n > best_nanos {
+                best_nanos = n;
+                best = stage;
+            }
+        }
+        best
+    }
+
+    /// Merges another timing record into this one.
+    pub fn merge(&mut self, other: &StageTimings) {
+        for i in 0..6 {
+            self.nanos[i] += other.nanos[i];
+        }
+        self.queries += other.queries;
+    }
+}
+
+/// A bounded max-heap keeping the `k` smallest (distance, id) pairs seen.
+/// This is the software analogue of the hardware priority queues in Stage
+/// SelCells / SelK.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    // (distance, id), organised as a binary max-heap on distance.
+    heap: Vec<(f32, u32)>,
+}
+
+impl TopK {
+    /// Creates an empty top-K collector.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            heap: Vec::with_capacity(k.max(1)),
+        }
+    }
+
+    /// Number of elements currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no element has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current worst (largest) retained distance, or infinity if not full.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap[0].0
+        }
+    }
+
+    /// Offers a candidate; it is kept only if it beats the current threshold.
+    #[inline]
+    pub fn push(&mut self, distance: f32, id: u32) {
+        if self.heap.len() < self.k {
+            self.heap.push((distance, id));
+            self.sift_up(self.heap.len() - 1);
+        } else if distance < self.heap[0].0 {
+            self.heap[0] = (distance, id);
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].0 > self.heap[parent].0 {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len() && self.heap[l].0 > self.heap[largest].0 {
+                largest = l;
+            }
+            if r < self.heap.len() && self.heap[r].0 > self.heap[largest].0 {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Drains the collector into results sorted by increasing distance
+    /// (ties broken by id for determinism).
+    pub fn into_sorted(self) -> Vec<SearchResult> {
+        let mut v: Vec<SearchResult> = self
+            .heap
+            .into_iter()
+            .map(|(distance, id)| SearchResult { id, distance })
+            .collect();
+        v.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        v
+    }
+}
+
+/// Stage OPQ: rotate the query if the index was trained with OPQ.
+pub fn stage_opq(index: &IvfPqIndex, query: &[f32]) -> Vec<f32> {
+    match index.opq() {
+        Some(t) => t.apply(query),
+        None => query.to_vec(),
+    }
+}
+
+/// Stage IVFDist: distances from the (rotated) query to all cell centroids.
+pub fn stage_ivf_dist(index: &IvfPqIndex, query: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    fanns_quantize::distance::all_l2(query, index.coarse().centroids(), index.dim(), &mut out);
+    out
+}
+
+/// Stage SelCells: indices of the `nprobe` closest cells.
+pub fn stage_sel_cells(centroid_dists: &[f32], nprobe: usize) -> Vec<usize> {
+    let nprobe = nprobe.min(centroid_dists.len()).max(1);
+    let mut topk = TopK::new(nprobe);
+    for (i, &d) in centroid_dists.iter().enumerate() {
+        topk.push(d, i as u32);
+    }
+    topk.into_sorted().into_iter().map(|r| r.id as usize).collect()
+}
+
+/// Stage BuildLUT: the per-query asymmetric-distance lookup table.
+pub fn stage_build_lut(index: &IvfPqIndex, query: &[f32]) -> DistanceTable {
+    index.pq().build_distance_table(query)
+}
+
+/// Stages PQDist + SelK fused: scan the selected cells, computing ADC
+/// distances and keeping the best `k`. The two stages are fused here for
+/// cache efficiency (as Faiss does); [`search_with_timings`] still reports
+/// them separately by running PQDist into a buffer first.
+pub fn stage_scan_and_select(
+    index: &IvfPqIndex,
+    cells: &[usize],
+    lut: &DistanceTable,
+    k: usize,
+) -> Vec<SearchResult> {
+    let m = index.m();
+    let mut topk = TopK::new(k);
+    for &cell in cells {
+        let list = index.list(cell);
+        for (slot, code) in list.codes.chunks_exact(m).enumerate() {
+            let d = lut.adc(code);
+            topk.push(d, list.ids[slot]);
+        }
+    }
+    topk.into_sorted()
+}
+
+/// Stage PQDist alone: ADC distances for every code in the selected cells.
+/// Returns (id, distance) pairs in scan order.
+pub fn stage_pq_dist(index: &IvfPqIndex, cells: &[usize], lut: &DistanceTable) -> Vec<(u32, f32)> {
+    let m = index.m();
+    let mut out = Vec::new();
+    for &cell in cells {
+        let list = index.list(cell);
+        out.reserve(list.len());
+        for (slot, code) in list.codes.chunks_exact(m).enumerate() {
+            out.push((list.ids[slot], lut.adc(code)));
+        }
+    }
+    out
+}
+
+/// Stage SelK alone: select the `k` best candidates from the PQDist output.
+pub fn stage_sel_k(candidates: &[(u32, f32)], k: usize) -> Vec<SearchResult> {
+    let mut topk = TopK::new(k);
+    for &(id, d) in candidates {
+        topk.push(d, id);
+    }
+    topk.into_sorted()
+}
+
+/// Runs a full query through the six stages (fused PQDist/SelK fast path).
+pub fn search(index: &IvfPqIndex, query: &[f32], k: usize, nprobe: usize) -> Vec<SearchResult> {
+    let rotated = stage_opq(index, query);
+    let dists = stage_ivf_dist(index, &rotated);
+    let cells = stage_sel_cells(&dists, nprobe);
+    let lut = stage_build_lut(index, &rotated);
+    stage_scan_and_select(index, &cells, &lut, k)
+}
+
+/// Runs a full query keeping the stages separate and timing each one.
+/// Slightly slower than [`search`] (PQDist materialises its candidate list)
+/// but returns identical results; used for the Figure 3 breakdowns.
+pub fn search_with_timings(
+    index: &IvfPqIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    timings: &mut StageTimings,
+) -> Vec<SearchResult> {
+    let t0 = Instant::now();
+    let rotated = stage_opq(index, query);
+    let t1 = Instant::now();
+    timings.record(SearchStage::Opq, t1 - t0);
+
+    let dists = stage_ivf_dist(index, &rotated);
+    let t2 = Instant::now();
+    timings.record(SearchStage::IvfDist, t2 - t1);
+
+    let cells = stage_sel_cells(&dists, nprobe);
+    let t3 = Instant::now();
+    timings.record(SearchStage::SelCells, t3 - t2);
+
+    let lut = stage_build_lut(index, &rotated);
+    let t4 = Instant::now();
+    timings.record(SearchStage::BuildLut, t4 - t3);
+
+    let candidates = stage_pq_dist(index, &cells, &lut);
+    let t5 = Instant::now();
+    timings.record(SearchStage::PqDist, t5 - t4);
+
+    let results = stage_sel_k(&candidates, k);
+    let t6 = Instant::now();
+    timings.record(SearchStage::SelK, t6 - t5);
+
+    timings.queries += 1;
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IvfPqIndex, IvfPqTrainConfig};
+    use fanns_dataset::ground_truth::ground_truth;
+    use fanns_dataset::recall::recall_at_k;
+    use fanns_dataset::synth::SyntheticSpec;
+
+    fn build_small() -> (fanns_dataset::types::VectorDataset, fanns_dataset::types::QuerySet, IvfPqIndex) {
+        let (db, queries) = SyntheticSpec::sift_small(21).generate();
+        let cfg = IvfPqTrainConfig::new(16)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000)
+            .with_seed(3);
+        let index = IvfPqIndex::build(&db, &cfg);
+        (db, queries, index)
+    }
+
+    #[test]
+    fn topk_keeps_the_smallest() {
+        let mut t = TopK::new(3);
+        for (i, d) in [5.0f32, 1.0, 4.0, 0.5, 9.0, 2.0].iter().enumerate() {
+            t.push(*d, i as u32);
+        }
+        let out = t.into_sorted();
+        let dists: Vec<f32> = out.iter().map(|r| r.distance).collect();
+        assert_eq!(dists, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn topk_threshold_tracks_worst_kept() {
+        let mut t = TopK::new(2);
+        assert!(t.threshold().is_infinite());
+        t.push(3.0, 0);
+        t.push(1.0, 1);
+        assert_eq!(t.threshold(), 3.0);
+        t.push(2.0, 2);
+        assert_eq!(t.threshold(), 2.0);
+    }
+
+    #[test]
+    fn sel_cells_returns_nearest_cells_sorted_by_distance() {
+        let dists = vec![3.0f32, 0.5, 2.0, 1.0];
+        let cells = stage_sel_cells(&dists, 2);
+        assert_eq!(cells, vec![1, 3]);
+    }
+
+    #[test]
+    fn fused_and_split_paths_agree() {
+        let (_, queries, index) = build_small();
+        for q in 0..4 {
+            let fused = search(&index, queries.get(q), 10, 4);
+            let mut timings = StageTimings::default();
+            let split = search_with_timings(&index, queries.get(q), 10, 4, &mut timings);
+            assert_eq!(fused, split);
+            assert_eq!(timings.queries, 1);
+            assert!(timings.total() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn probing_all_cells_approaches_exhaustive_pq_search() {
+        let (db, queries, index) = build_small();
+        let gt = ground_truth(&db, &queries, 10);
+        let results: Vec<Vec<usize>> = (0..queries.len())
+            .map(|q| {
+                search(&index, queries.get(q), 10, index.nlist())
+                    .into_iter()
+                    .map(|r| r.id as usize)
+                    .collect()
+            })
+            .collect();
+        let report = recall_at_k(&results, &gt, 10);
+        // Scanning every cell, recall is limited only by PQ quantization
+        // error; on this easy clustered dataset that should be high.
+        assert!(
+            report.recall_at_k > 0.7,
+            "full-probe recall unexpectedly low: {}",
+            report.recall_at_k
+        );
+    }
+
+    #[test]
+    fn recall_improves_with_nprobe() {
+        let (db, queries, index) = build_small();
+        let gt = ground_truth(&db, &queries, 10);
+        let run = |nprobe: usize| {
+            let results: Vec<Vec<usize>> = (0..queries.len())
+                .map(|q| {
+                    search(&index, queries.get(q), 10, nprobe)
+                        .into_iter()
+                        .map(|r| r.id as usize)
+                        .collect()
+                })
+                .collect();
+            recall_at_k(&results, &gt, 10).recall_at_k
+        };
+        let low = run(1);
+        let high = run(16);
+        assert!(high >= low, "recall should not degrade with more probes");
+        assert!(high > 0.7);
+    }
+
+    #[test]
+    fn results_are_sorted_and_bounded_by_k() {
+        let (_, queries, index) = build_small();
+        let res = search(&index, queries.get(0), 10, 4);
+        assert!(res.len() <= 10);
+        assert!(res.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn timings_fractions_sum_to_one() {
+        let (_, queries, index) = build_small();
+        let mut timings = StageTimings::default();
+        for q in 0..8 {
+            let _ = search_with_timings(&index, queries.get(q), 10, 8, &mut timings);
+        }
+        let fractions = timings.fractions();
+        let sum: f64 = fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(timings.queries, 8);
+        // The bottleneck must be one of the six stages.
+        let _ = timings.bottleneck();
+    }
+
+    #[test]
+    fn merge_accumulates_queries_and_time() {
+        let mut a = StageTimings::default();
+        a.record(SearchStage::PqDist, Duration::from_nanos(100));
+        a.queries = 1;
+        let mut b = StageTimings::default();
+        b.record(SearchStage::PqDist, Duration::from_nanos(50));
+        b.record(SearchStage::SelK, Duration::from_nanos(25));
+        b.queries = 2;
+        a.merge(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.get(SearchStage::PqDist), Duration::from_nanos(150));
+        assert_eq!(a.get(SearchStage::SelK), Duration::from_nanos(25));
+    }
+}

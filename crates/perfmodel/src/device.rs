@@ -1,0 +1,202 @@
+//! FPGA device descriptions and resource vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// A bundle of the five FPGA resource types tracked by the paper's resource
+/// model (Equation 2): LUTs, flip-flops, DSP slices, BRAM and URAM (the last
+/// two tracked in bytes for simplicity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceVector {
+    /// Look-up tables.
+    pub lut: f64,
+    /// Flip-flops (registers).
+    pub ff: f64,
+    /// DSP slices.
+    pub dsp: f64,
+    /// Block RAM, in bytes.
+    pub bram_bytes: f64,
+    /// Ultra RAM, in bytes.
+    pub uram_bytes: f64,
+}
+
+impl ResourceVector {
+    /// The all-zero vector.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            lut: self.lut + other.lut,
+            ff: self.ff + other.ff,
+            dsp: self.dsp + other.dsp,
+            bram_bytes: self.bram_bytes + other.bram_bytes,
+            uram_bytes: self.uram_bytes + other.uram_bytes,
+        }
+    }
+
+    /// Component-wise scaling.
+    pub fn scale(&self, factor: f64) -> ResourceVector {
+        ResourceVector {
+            lut: self.lut * factor,
+            ff: self.ff * factor,
+            dsp: self.dsp * factor,
+            bram_bytes: self.bram_bytes * factor,
+            uram_bytes: self.uram_bytes * factor,
+        }
+    }
+
+    /// Whether every component fits within `budget`.
+    pub fn fits_within(&self, budget: &ResourceVector) -> bool {
+        self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.dsp <= budget.dsp
+            && self.bram_bytes <= budget.bram_bytes
+            && self.uram_bytes <= budget.uram_bytes
+    }
+
+    /// The largest utilisation fraction across resource types.
+    pub fn max_utilization(&self, capacity: &ResourceVector) -> f64 {
+        let ratios = [
+            safe_ratio(self.lut, capacity.lut),
+            safe_ratio(self.ff, capacity.ff),
+            safe_ratio(self.dsp, capacity.dsp),
+            safe_ratio(self.bram_bytes, capacity.bram_bytes),
+            safe_ratio(self.uram_bytes, capacity.uram_bytes),
+        ];
+        ratios.into_iter().fold(0.0, f64::max)
+    }
+}
+
+fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        if num > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        num / den
+    }
+}
+
+/// An FPGA device: total resources plus the utilisation ceiling the paper
+/// applies to avoid placement-and-routing failures (60 %).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: &'static str,
+    /// Total resources on the device.
+    pub capacity: ResourceVector,
+    /// Fraction of each resource the design is allowed to consume.
+    pub max_utilization: f64,
+    /// Target clock frequency in MHz.
+    pub target_freq_mhz: f64,
+}
+
+impl FpgaDevice {
+    /// The Xilinx Alveo U55C used in the paper: 1.3 M LUTs, 9 K DSPs, ~40 MB
+    /// of on-chip memory (split ~16 MB BRAM / ~24 MB URAM), 16 GB HBM,
+    /// 140 MHz target, 60 % utilisation ceiling.
+    pub fn alveo_u55c() -> Self {
+        Self {
+            name: "Xilinx Alveo U55C",
+            capacity: ResourceVector {
+                lut: 1_300_000.0,
+                ff: 2_600_000.0,
+                dsp: 9_024.0,
+                bram_bytes: 16.0 * 1024.0 * 1024.0,
+                uram_bytes: 24.0 * 1024.0 * 1024.0,
+            },
+            max_utilization: 0.60,
+            target_freq_mhz: 140.0,
+        }
+    }
+
+    /// A smaller device (roughly a U50) used by tests and ablations to show
+    /// how the optimal design shifts with the resource budget.
+    pub fn small_device() -> Self {
+        Self {
+            name: "Small FPGA",
+            capacity: ResourceVector {
+                lut: 600_000.0,
+                ff: 1_200_000.0,
+                dsp: 4_000.0,
+                bram_bytes: 8.0 * 1024.0 * 1024.0,
+                uram_bytes: 8.0 * 1024.0 * 1024.0,
+            },
+            max_utilization: 0.60,
+            target_freq_mhz: 140.0,
+        }
+    }
+
+    /// The usable budget per resource (capacity × utilisation ceiling).
+    pub fn budget(&self) -> ResourceVector {
+        self.capacity.scale(self.max_utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale_are_componentwise() {
+        let a = ResourceVector {
+            lut: 10.0,
+            ff: 20.0,
+            dsp: 2.0,
+            bram_bytes: 100.0,
+            uram_bytes: 0.0,
+        };
+        let b = a.scale(2.0);
+        assert_eq!(b.lut, 20.0);
+        assert_eq!(b.bram_bytes, 200.0);
+        let c = a.add(&b);
+        assert_eq!(c.ff, 60.0);
+    }
+
+    #[test]
+    fn fits_within_checks_every_component() {
+        let budget = ResourceVector {
+            lut: 100.0,
+            ff: 100.0,
+            dsp: 10.0,
+            bram_bytes: 1_000.0,
+            uram_bytes: 1_000.0,
+        };
+        let ok = ResourceVector {
+            lut: 99.0,
+            ff: 50.0,
+            dsp: 10.0,
+            bram_bytes: 0.0,
+            uram_bytes: 0.0,
+        };
+        let too_much_dsp = ResourceVector { dsp: 11.0, ..ok };
+        assert!(ok.fits_within(&budget));
+        assert!(!too_much_dsp.fits_within(&budget));
+    }
+
+    #[test]
+    fn u55c_budget_is_sixty_percent() {
+        let dev = FpgaDevice::alveo_u55c();
+        let budget = dev.budget();
+        assert!((budget.lut - 780_000.0).abs() < 1.0);
+        assert!((budget.dsp - 5_414.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn max_utilization_reports_worst_resource() {
+        let dev = FpgaDevice::alveo_u55c();
+        let usage = ResourceVector {
+            lut: 130_000.0,
+            ff: 0.0,
+            dsp: 4_512.0,
+            bram_bytes: 0.0,
+            uram_bytes: 0.0,
+        };
+        let u = usage.max_utilization(&dev.capacity);
+        assert!((u - 0.5).abs() < 1e-6);
+    }
+}

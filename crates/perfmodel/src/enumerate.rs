@@ -1,0 +1,214 @@
+//! Valid-design enumeration (step 4 of the workflow).
+//!
+//! FANNS "lists all valid accelerator designs on a given FPGA device by
+//! resource consumption modeling": every combination of the hardware choices
+//! in Table 2 whose total consumption stays under the device budget. The
+//! enumeration below sweeps PE counts, selection microarchitectures and cache
+//! placements, prunes infeasible points with the resource model, and returns
+//! the surviving [`AcceleratorConfig`]s.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use fanns_hwsim::config::{AcceleratorConfig, IndexStore, SelectArch, StageSizing};
+
+use crate::device::FpgaDevice;
+use crate::resources::{design_resources, DesignContext};
+
+/// The grid of hardware choices to sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnumerationSpace {
+    /// Candidate Stage IVFDist PE counts.
+    pub ivf_dist_pes: Vec<usize>,
+    /// Candidate Stage BuildLUT PE counts.
+    pub build_lut_pes: Vec<usize>,
+    /// Candidate Stage PQDist PE counts.
+    pub pq_dist_pes: Vec<usize>,
+    /// Selection microarchitectures to consider for Stage SelCells.
+    pub sel_cells_archs: Vec<SelectArch>,
+    /// Selection microarchitectures to consider for Stage SelK.
+    pub sel_k_archs: Vec<SelectArch>,
+    /// Cache placements to consider for the IVF centroid table.
+    pub ivf_stores: Vec<IndexStore>,
+    /// Cache placements to consider for the PQ codebooks.
+    pub lut_stores: Vec<IndexStore>,
+}
+
+impl EnumerationSpace {
+    /// The default sweep used in the experiments: PE counts cover the range
+    /// the paper's generated designs land in (Table 4 uses 8–16 IVFDist PEs,
+    /// 5–9 BuildLUT PEs and 9–57 PQDist PEs).
+    pub fn standard() -> Self {
+        Self {
+            ivf_dist_pes: vec![1, 2, 4, 6, 8, 11, 16, 24, 32, 48],
+            build_lut_pes: vec![1, 2, 4, 5, 7, 9, 12, 16],
+            pq_dist_pes: vec![4, 9, 16, 24, 36, 48, 57, 64, 80, 96],
+            sel_cells_archs: vec![SelectArch::Hpq, SelectArch::Hsmpqg],
+            sel_k_archs: vec![SelectArch::Hpq, SelectArch::Hsmpqg],
+            ivf_stores: vec![IndexStore::OnChip, IndexStore::Hbm],
+            lut_stores: vec![IndexStore::OnChip, IndexStore::Hbm],
+        }
+    }
+
+    /// A reduced sweep used by unit tests.
+    pub fn small() -> Self {
+        Self {
+            ivf_dist_pes: vec![2, 8],
+            build_lut_pes: vec![2, 4],
+            pq_dist_pes: vec![8, 32],
+            sel_cells_archs: vec![SelectArch::Hpq],
+            sel_k_archs: vec![SelectArch::Hpq, SelectArch::Hsmpqg],
+            ivf_stores: vec![IndexStore::OnChip, IndexStore::Hbm],
+            lut_stores: vec![IndexStore::Hbm],
+        }
+    }
+
+    /// Number of raw (pre-pruning) combinations.
+    pub fn raw_size(&self, opq: bool) -> usize {
+        let opq_options = if opq { 1 } else { 1 };
+        opq_options
+            * self.ivf_dist_pes.len()
+            * self.build_lut_pes.len()
+            * self.pq_dist_pes.len()
+            * self.sel_cells_archs.len()
+            * self.sel_k_archs.len()
+            * self.ivf_stores.len()
+            * self.lut_stores.len()
+    }
+}
+
+/// Enumerates every design in `space` that fits `device` for the workload
+/// geometry `ctx`. `opq` controls whether an OPQ PE is instantiated.
+pub fn enumerate_designs(
+    space: &EnumerationSpace,
+    device: &FpgaDevice,
+    ctx: &DesignContext,
+    opq: bool,
+) -> Vec<AcceleratorConfig> {
+    // Materialise the cross product lazily per IVFDist-PE choice so the
+    // pruning work parallelises cleanly.
+    let budget = device.budget();
+    space
+        .ivf_dist_pes
+        .par_iter()
+        .flat_map_iter(|&ivf_pes| {
+            let mut out = Vec::new();
+            for &lut_pes in &space.build_lut_pes {
+                for &pq_pes in &space.pq_dist_pes {
+                    for &sc_arch in &space.sel_cells_archs {
+                        for &sk_arch in &space.sel_k_archs {
+                            for &ivf_store in &space.ivf_stores {
+                                for &lut_store in &space.lut_stores {
+                                    let config = AcceleratorConfig {
+                                        sizing: StageSizing {
+                                            opq_pes: usize::from(opq),
+                                            ivf_dist_pes: ivf_pes,
+                                            build_lut_pes: lut_pes,
+                                            pq_dist_pes: pq_pes,
+                                        },
+                                        sel_cells_arch: sc_arch,
+                                        sel_k_arch: sk_arch,
+                                        ivf_store,
+                                        lut_store,
+                                        freq_mhz: device.target_freq_mhz,
+                                    };
+                                    // HSMPQG is only meaningful when the
+                                    // result count is below the stream count.
+                                    if sk_arch == SelectArch::Hsmpqg
+                                        && ctx.k >= config.sel_k_streams()
+                                    {
+                                        continue;
+                                    }
+                                    if sc_arch == SelectArch::Hsmpqg
+                                        && ctx.nprobe >= config.sel_cells_streams()
+                                    {
+                                        continue;
+                                    }
+                                    let usage = design_resources(&config, ctx);
+                                    if usage.fits_within(&budget) {
+                                        out.push(config);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(nlist: usize, k: usize) -> DesignContext {
+        DesignContext {
+            dim: 128,
+            m: 16,
+            ksub: 256,
+            nlist,
+            nprobe: 16,
+            k,
+            with_network_stack: false,
+        }
+    }
+
+    #[test]
+    fn enumeration_returns_only_feasible_designs() {
+        let device = FpgaDevice::alveo_u55c();
+        let space = EnumerationSpace::small();
+        let c = ctx(8192, 10);
+        let designs = enumerate_designs(&space, &device, &c, false);
+        assert!(!designs.is_empty());
+        for d in &designs {
+            assert!(design_resources(&d, &c).fits_within(&device.budget()));
+        }
+    }
+
+    #[test]
+    fn smaller_device_admits_fewer_designs() {
+        let c = ctx(8192, 100);
+        let space = EnumerationSpace::standard();
+        let big = enumerate_designs(&space, &FpgaDevice::alveo_u55c(), &c, false);
+        let small = enumerate_designs(&space, &FpgaDevice::small_device(), &c, false);
+        assert!(small.len() < big.len());
+    }
+
+    #[test]
+    fn large_k_prunes_more_designs_than_small_k() {
+        // K=100 priority queues are expensive, so fewer configurations fit.
+        let space = EnumerationSpace::standard();
+        let device = FpgaDevice::alveo_u55c();
+        let k1 = enumerate_designs(&space, &device, &ctx(8192, 1), false);
+        let k100 = enumerate_designs(&space, &device, &ctx(8192, 100), false);
+        assert!(k100.len() < k1.len());
+    }
+
+    #[test]
+    fn hsmpqg_is_skipped_when_k_exceeds_streams() {
+        let space = EnumerationSpace::small();
+        let device = FpgaDevice::alveo_u55c();
+        let designs = enumerate_designs(&space, &device, &ctx(8192, 100), false);
+        for d in designs {
+            if d.sel_k_arch == SelectArch::Hsmpqg {
+                assert!(d.sel_k_streams() > 100);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_size_counts_cross_product() {
+        let space = EnumerationSpace::small();
+        assert_eq!(space.raw_size(false), 2 * 2 * 2 * 1 * 2 * 2 * 1);
+    }
+
+    #[test]
+    fn opq_flag_instantiates_an_opq_pe() {
+        let space = EnumerationSpace::small();
+        let device = FpgaDevice::alveo_u55c();
+        let designs = enumerate_designs(&space, &device, &ctx(8192, 10), true);
+        assert!(designs.iter().all(|d| d.sizing.opq_pes == 1));
+    }
+}

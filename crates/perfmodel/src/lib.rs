@@ -1,0 +1,24 @@
+//! Resource and performance models — steps 4 and 5 of the FANNS workflow.
+//!
+//! Given an FPGA device description, this crate can
+//!
+//! * model the resource consumption of any accelerator design (Equation 2:
+//!   Σ PEs + Σ FIFOs + infrastructure ≤ budget per resource type),
+//! * enumerate every valid design under the budget ([`enumerate`]),
+//! * predict the QPS of any (algorithm parameters × hardware design)
+//!   combination (Equations 3–4) through [`qps`].
+//!
+//! The per-PE resource numbers play the role of the post-synthesis reports
+//! the authors obtained from Vitis HLS; they are calibrated so that the
+//! relative costs match the paper's qualitative findings (priority-queue cost
+//! linear in K, PQDist PEs dominating DSP usage, OPQ nearly free).
+
+pub mod device;
+pub mod enumerate;
+pub mod qps;
+pub mod resources;
+
+pub use device::{FpgaDevice, ResourceVector};
+pub use enumerate::{enumerate_designs, EnumerationSpace};
+pub use qps::{predict_qps, QpsPrediction, WorkloadModel};
+pub use resources::{design_resources, resource_report, ResourceReport};

@@ -1,0 +1,341 @@
+//! Per-PE resource consumption tables and the whole-design resource model
+//! (Equation 2: Σ PEs + Σ FIFOs + infrastructure ≤ constraint, per resource).
+//!
+//! The absolute numbers stand in for the Vitis HLS synthesis reports of the
+//! original artifact. They are calibrated to reproduce the paper's relative
+//! behaviour: a PQDist PE is the DSP-heavy workhorse, priority-queue cost is
+//! linear in the queue length (so SelK at K=100 eats a large LUT share —
+//! 31.7 % in Table 4), bitonic networks trade queue registers for
+//! compare-swap LUTs, and caching tables on-chip consumes BRAM/URAM that
+//! other PEs could have used.
+
+use serde::{Deserialize, Serialize};
+
+use fanns_hwsim::config::{AcceleratorConfig, IndexStore};
+use fanns_hwsim::select::SelectionSpec;
+
+use crate::device::{FpgaDevice, ResourceVector};
+
+/// LUT/FF cost of one compare-swap unit (32-bit compare + swap + control).
+const CSU_LUT: f64 = 64.0;
+const CSU_FF: f64 = 96.0;
+
+/// Cost of one priority-queue register slot (distance + id + muxing).
+const PQ_REG_LUT: f64 = 48.0;
+const PQ_REG_FF: f64 = 72.0;
+
+/// Resources of one Stage OPQ PE: a `dim × dim` matrix-vector multiply with
+/// [`fanns_hwsim::stages::OPQ_LANES`] parallel MACs.
+pub fn opq_pe_resources(dim: usize) -> ResourceVector {
+    let lanes = fanns_hwsim::stages::OPQ_LANES as f64;
+    ResourceVector {
+        lut: 3_000.0,
+        ff: 4_500.0,
+        dsp: 5.0 * lanes,
+        // The rotation matrix itself is small (dim² × 4 B) and lives in BRAM.
+        bram_bytes: (dim * dim * 4) as f64,
+        uram_bytes: 0.0,
+    }
+}
+
+/// Resources of one Stage IVFDist PE.
+pub fn ivf_dist_pe_resources() -> ResourceVector {
+    let lanes = fanns_hwsim::stages::IVF_DIST_LANES as f64;
+    ResourceVector {
+        lut: 4_200.0,
+        ff: 6_000.0,
+        dsp: 5.0 * lanes,
+        bram_bytes: 4_096.0,
+        uram_bytes: 0.0,
+    }
+}
+
+/// Resources of one Stage BuildLUT PE.
+pub fn build_lut_pe_resources() -> ResourceVector {
+    let lanes = fanns_hwsim::stages::BUILD_LUT_LANES as f64;
+    ResourceVector {
+        lut: 3_600.0,
+        ff: 5_200.0,
+        dsp: 5.0 * lanes,
+        bram_bytes: 8_192.0,
+        uram_bytes: 0.0,
+    }
+}
+
+/// Resources of one Stage PQDist PE (Figure 8): `m` BRAM slices holding one
+/// column of the distance table each, `m` parallel lookups and an `m`-input
+/// add tree built from DSPs and FFs.
+pub fn pq_dist_pe_resources(m: usize, ksub: usize) -> ResourceVector {
+    let m = m as f64;
+    ResourceVector {
+        lut: 2_200.0 + 180.0 * m,
+        ff: 3_000.0 + 260.0 * m,
+        dsp: 2.0 * m,
+        // m BRAM slices, each holding ksub f32 entries (double-buffered).
+        bram_bytes: 2.0 * m * ksub as f64 * 4.0,
+        uram_bytes: 0.0,
+    }
+}
+
+/// Resources of a K-selection unit (either architecture), derived from the
+/// structural proxies exposed by [`SelectionSpec`].
+pub fn selection_resources(spec: &SelectionSpec) -> ResourceVector {
+    let regs = spec.priority_queue_registers() as f64;
+    let csus = spec.bitonic_compare_swap_units() as f64;
+    // Each queue register slot carries one compare-swap unit as well.
+    ResourceVector {
+        lut: regs * (PQ_REG_LUT + CSU_LUT) + csus * CSU_LUT,
+        ff: regs * (PQ_REG_FF + CSU_FF) + csus * CSU_FF,
+        dsp: 0.0,
+        bram_bytes: 0.0,
+        uram_bytes: 0.0,
+    }
+}
+
+/// Resources of one inter-PE FIFO.
+pub fn fifo_resources() -> ResourceVector {
+    ResourceVector {
+        lut: 70.0,
+        ff: 120.0,
+        dsp: 0.0,
+        bram_bytes: 512.0,
+        uram_bytes: 0.0,
+    }
+}
+
+/// Constant infrastructure cost: HBM/PCIe controllers, the FPGA shell, the
+/// global query controller, and (for networked designs) the TCP/IP stack.
+pub fn infrastructure_resources(with_network_stack: bool) -> ResourceVector {
+    let base = ResourceVector {
+        lut: 120_000.0,
+        ff: 180_000.0,
+        dsp: 64.0,
+        bram_bytes: 1.5 * 1024.0 * 1024.0,
+        uram_bytes: 0.0,
+    };
+    if with_network_stack {
+        // EasyNet-style 100 Gbps TCP/IP stack (§7.3.2).
+        base.add(&ResourceVector {
+            lut: 90_000.0,
+            ff: 130_000.0,
+            dsp: 0.0,
+            bram_bytes: 2.0 * 1024.0 * 1024.0,
+            uram_bytes: 0.0,
+        })
+    } else {
+        base
+    }
+}
+
+/// Workload geometry needed to size caches and selection units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignContext {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// PQ sub-quantizer count.
+    pub m: usize,
+    /// PQ codebook size.
+    pub ksub: usize,
+    /// Number of IVF cells (sizes the on-chip centroid cache).
+    pub nlist: usize,
+    /// Number of cells probed (sizes the SelCells queues).
+    pub nprobe: usize,
+    /// Results per query (sizes the SelK queues).
+    pub k: usize,
+    /// Whether a network stack is instantiated (scale-out deployments).
+    pub with_network_stack: bool,
+}
+
+/// Total resource consumption of a design (Equation 2 left-hand side).
+pub fn design_resources(config: &AcceleratorConfig, ctx: &DesignContext) -> ResourceVector {
+    let s = &config.sizing;
+    let mut total = ResourceVector::zero();
+
+    // PEs.
+    total = total.add(&opq_pe_resources(ctx.dim).scale(s.opq_pes as f64));
+    total = total.add(&ivf_dist_pe_resources().scale(s.ivf_dist_pes as f64));
+    total = total.add(&build_lut_pe_resources().scale(s.build_lut_pes as f64));
+    total = total.add(&pq_dist_pe_resources(ctx.m, ctx.ksub).scale(s.pq_dist_pes as f64));
+
+    // Selection stages.
+    let sel_cells = SelectionSpec::new(config.sel_cells_arch, config.sel_cells_streams(), ctx.nprobe);
+    let sel_k = SelectionSpec::new(config.sel_k_arch, config.sel_k_streams(), ctx.k);
+    total = total.add(&selection_resources(&sel_cells));
+    total = total.add(&selection_resources(&sel_k));
+
+    // On-chip caches (Table 2's third design choice).
+    if config.ivf_store == IndexStore::OnChip {
+        total = total.add(&ResourceVector {
+            uram_bytes: (ctx.nlist * ctx.dim * 4) as f64,
+            ..ResourceVector::zero()
+        });
+    }
+    if config.lut_store == IndexStore::OnChip {
+        let dsub = ctx.dim / ctx.m.max(1);
+        total = total.add(&ResourceVector {
+            bram_bytes: (ctx.m * ctx.ksub * dsub * 4) as f64,
+            ..ResourceVector::zero()
+        });
+    }
+
+    // FIFOs: one per PE output plus one per selection stream.
+    let fifo_count = s.total_compute_pes() + config.sel_cells_streams() + config.sel_k_streams() + 8;
+    total = total.add(&fifo_resources().scale(fifo_count as f64));
+
+    // Infrastructure.
+    total = total.add(&infrastructure_resources(ctx.with_network_stack));
+
+    total
+}
+
+/// A human-readable per-stage resource breakdown (the quantity plotted in
+/// Figure 9 and the LUT% columns of Table 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// LUT share (fraction of the device) per stage, in pipeline order.
+    pub stage_lut_fraction: [f64; 6],
+    /// Total consumption of the design.
+    pub total: ResourceVector,
+    /// Worst-case utilisation fraction across resource types.
+    pub max_utilization: f64,
+    /// Whether the design fits the device budget.
+    pub fits: bool,
+}
+
+/// Builds a per-stage resource report for a design on a device.
+pub fn resource_report(
+    config: &AcceleratorConfig,
+    ctx: &DesignContext,
+    device: &FpgaDevice,
+) -> ResourceReport {
+    let s = &config.sizing;
+    let opq = opq_pe_resources(ctx.dim).scale(s.opq_pes as f64);
+    let ivf = ivf_dist_pe_resources().scale(s.ivf_dist_pes as f64);
+    let lut_stage = build_lut_pe_resources().scale(s.build_lut_pes as f64);
+    let pq = pq_dist_pe_resources(ctx.m, ctx.ksub).scale(s.pq_dist_pes as f64);
+    let sel_cells = selection_resources(&SelectionSpec::new(
+        config.sel_cells_arch,
+        config.sel_cells_streams(),
+        ctx.nprobe,
+    ));
+    let sel_k = selection_resources(&SelectionSpec::new(
+        config.sel_k_arch,
+        config.sel_k_streams(),
+        ctx.k,
+    ));
+
+    let device_lut = device.capacity.lut;
+    let stage_lut_fraction = [
+        opq.lut / device_lut,
+        ivf.lut / device_lut,
+        sel_cells.lut / device_lut,
+        lut_stage.lut / device_lut,
+        pq.lut / device_lut,
+        sel_k.lut / device_lut,
+    ];
+
+    let total = design_resources(config, ctx);
+    let max_utilization = total.max_utilization(&device.capacity);
+    let fits = total.fits_within(&device.budget());
+
+    ResourceReport {
+        stage_lut_fraction,
+        total,
+        max_utilization,
+        fits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_hwsim::config::{SelectArch, StageSizing};
+
+    fn ctx(k: usize) -> DesignContext {
+        DesignContext {
+            dim: 128,
+            m: 16,
+            ksub: 256,
+            nlist: 8192,
+            nprobe: 17,
+            k,
+            with_network_stack: false,
+        }
+    }
+
+    #[test]
+    fn balanced_design_fits_the_u55c() {
+        let report = resource_report(
+            &AcceleratorConfig::balanced(),
+            &ctx(10),
+            &FpgaDevice::alveo_u55c(),
+        );
+        assert!(report.fits, "balanced design should fit: {:?}", report.total);
+        assert!(report.max_utilization < 0.6);
+    }
+
+    #[test]
+    fn selk_cost_grows_linearly_with_k() {
+        let spec_k10 = SelectionSpec::new(SelectArch::Hpq, 32, 10);
+        let spec_k100 = SelectionSpec::new(SelectArch::Hpq, 32, 100);
+        let r10 = selection_resources(&spec_k10);
+        let r100 = selection_resources(&spec_k100);
+        assert!((r100.lut / r10.lut - 10.0).abs() < 0.5, "queue LUT cost should scale ~linearly with K");
+    }
+
+    #[test]
+    fn hsmpqg_saves_lut_for_many_streams_small_k() {
+        let hpq = selection_resources(&SelectionSpec::new(SelectArch::Hpq, 80, 10));
+        let hybrid = selection_resources(&SelectionSpec::new(SelectArch::Hsmpqg, 80, 10));
+        assert!(hybrid.lut < hpq.lut);
+    }
+
+    #[test]
+    fn caching_ivf_on_chip_consumes_uram() {
+        let mut cached = AcceleratorConfig::balanced();
+        cached.ivf_store = IndexStore::OnChip;
+        let hbm = AcceleratorConfig::balanced();
+        let c = design_resources(&cached, &ctx(10));
+        let h = design_resources(&hbm, &ctx(10));
+        assert!(c.uram_bytes > h.uram_bytes);
+        assert_eq!(c.uram_bytes - h.uram_bytes, (8192 * 128 * 4) as f64);
+    }
+
+    #[test]
+    fn oversized_design_does_not_fit() {
+        let huge = AcceleratorConfig {
+            sizing: StageSizing {
+                opq_pes: 4,
+                ivf_dist_pes: 100,
+                build_lut_pes: 100,
+                pq_dist_pes: 400,
+            },
+            ..AcceleratorConfig::balanced()
+        };
+        let report = resource_report(&huge, &ctx(100), &FpgaDevice::alveo_u55c());
+        assert!(!report.fits);
+        assert!(report.max_utilization > 0.6);
+    }
+
+    #[test]
+    fn network_stack_adds_infrastructure_cost() {
+        let without = infrastructure_resources(false);
+        let with = infrastructure_resources(true);
+        assert!(with.lut > without.lut);
+        assert!(with.bram_bytes > without.bram_bytes);
+    }
+
+    #[test]
+    fn stage_fractions_are_nonnegative_and_bounded() {
+        let report = resource_report(
+            &AcceleratorConfig::balanced(),
+            &ctx(100),
+            &FpgaDevice::alveo_u55c(),
+        );
+        for f in report.stage_lut_fraction {
+            assert!((0.0..1.0).contains(&f));
+        }
+        // K=100 should make SelK the dominant LUT consumer among selection stages.
+        assert!(report.stage_lut_fraction[5] > report.stage_lut_fraction[2]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Distributed-query latency simulation (Figures 1 and 12).
+//!
+//! The paper's methodology: record the single-node search-latency history of
+//! each hardware type, then, for a distributed query over `N` accelerators,
+//! draw `N` samples from that history, take the maximum (the query waits for
+//! the slowest partition) and add the binary-tree broadcast/reduce network
+//! cost from the LogGP model. Because the FPGA's latency distribution is
+//! nearly flat while the GPU's has a heavy tail, the FPGA's advantage grows
+//! with the accelerator count.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::collective::distributed_query_network_us;
+use crate::latency::LatencyDistribution;
+use crate::loggp::{query_message_bytes, result_message_bytes, LogGpParams};
+
+/// Specification of a distributed search deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of accelerators, each holding one dataset partition.
+    pub num_accelerators: usize,
+    /// Query vector dimensionality (sizes the broadcast message).
+    pub dim: usize,
+    /// Results per query (sizes the reduce message).
+    pub k: usize,
+    /// Number of distributed queries to simulate.
+    pub num_queries: usize,
+    /// RNG seed for latency resampling.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// The paper's eight-accelerator prototype setup (Figure 1): SIFT-style
+    /// 128-d queries, K=10, 100K simulated queries.
+    pub fn eight_accelerators() -> Self {
+        Self {
+            num_accelerators: 8,
+            dim: 128,
+            k: 10,
+            num_queries: 10_000,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// Latency report of a simulated distributed deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributedLatencyReport {
+    /// Number of accelerators.
+    pub num_accelerators: usize,
+    /// End-to-end per-query latencies (µs).
+    pub distribution: LatencyDistribution,
+    /// Median latency (µs).
+    pub median_us: f64,
+    /// 95th-percentile latency (µs).
+    pub p95_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: f64,
+    /// Mean network component per query (µs).
+    pub network_us: f64,
+}
+
+/// Simulates `spec.num_queries` distributed queries over a cluster whose
+/// per-node search latencies follow `node_latency`.
+pub fn simulate_cluster(
+    spec: &ClusterSpec,
+    node_latency: &LatencyDistribution,
+    network: &LogGpParams,
+) -> DistributedLatencyReport {
+    assert!(spec.num_accelerators >= 1, "need at least one accelerator");
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let network_us = distributed_query_network_us(
+        network,
+        spec.num_accelerators,
+        query_message_bytes(spec.dim),
+        result_message_bytes(spec.k),
+    );
+
+    let mut latencies = Vec::with_capacity(spec.num_queries);
+    for _ in 0..spec.num_queries {
+        // The distributed query completes when its slowest partition finishes.
+        let mut slowest = 0.0f64;
+        for _ in 0..spec.num_accelerators {
+            let idx = rng.gen_range(0..node_latency.len());
+            slowest = slowest.max(node_latency.sample_at(idx));
+        }
+        latencies.push(slowest + network_us);
+    }
+
+    let distribution = LatencyDistribution::new(latencies);
+    DistributedLatencyReport {
+        num_accelerators: spec.num_accelerators,
+        median_us: distribution.median(),
+        p95_us: distribution.percentile(95.0),
+        p99_us: distribution.percentile(99.0),
+        network_us,
+        distribution,
+    }
+}
+
+/// Convenience: sweeps the accelerator count (e.g. 16, 32, …, 1024 as in
+/// Figure 12) and returns one report per point.
+pub fn sweep_accelerator_counts(
+    counts: &[usize],
+    base_spec: &ClusterSpec,
+    node_latency: &LatencyDistribution,
+    network: &LogGpParams,
+) -> Vec<DistributedLatencyReport> {
+    counts
+        .iter()
+        .map(|&n| {
+            let spec = ClusterSpec {
+                num_accelerators: n,
+                ..*base_spec
+            };
+            simulate_cluster(&spec, node_latency, network)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stable, FPGA-like latency distribution (~ flat around 500 µs).
+    fn fpga_like() -> LatencyDistribution {
+        LatencyDistribution::new((0..1000).map(|i| 480.0 + (i % 40) as f64).collect())
+    }
+
+    /// A heavy-tailed, GPU-like latency distribution (most queries fast, a
+    /// few percent much slower with a wide spread — batching and
+    /// kernel-launch jitter).
+    fn gpu_like() -> LatencyDistribution {
+        LatencyDistribution::new(
+            (0..1000)
+                .map(|i| {
+                    if i % 50 == 0 {
+                        2_000.0 + (i as f64) * 20.0
+                    } else {
+                        300.0 + (i % 30) as f64
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_node_report_matches_input_distribution_plus_no_network() {
+        let spec = ClusterSpec {
+            num_accelerators: 1,
+            dim: 128,
+            k: 10,
+            num_queries: 2_000,
+            seed: 1,
+        };
+        let report = simulate_cluster(&spec, &fpga_like(), &LogGpParams::paper_infiniband());
+        assert_eq!(report.network_us, 0.0);
+        assert!(report.median_us >= 480.0 && report.median_us <= 520.0);
+    }
+
+    #[test]
+    fn more_accelerators_push_latency_toward_the_tail() {
+        let base = ClusterSpec::eight_accelerators();
+        let gpu = gpu_like();
+        let net = LogGpParams::paper_infiniband();
+        let reports = sweep_accelerator_counts(&[1, 8, 64], &base, &gpu, &net);
+        assert!(reports[1].median_us > reports[0].median_us);
+        assert!(reports[2].median_us > reports[1].median_us);
+    }
+
+    #[test]
+    fn stable_distribution_scales_better_than_heavy_tailed() {
+        // The paper's core scale-out claim: the FPGA:GPU advantage grows with
+        // the number of accelerators because the GPU tail dominates the max.
+        let base = ClusterSpec::eight_accelerators();
+        let net = LogGpParams::paper_infiniband();
+        let fpga = fpga_like();
+        let gpu = gpu_like();
+        let fpga_reports = sweep_accelerator_counts(&[8, 128], &base, &fpga, &net);
+        let gpu_reports = sweep_accelerator_counts(&[8, 128], &base, &gpu, &net);
+        let speedup_8 = gpu_reports[0].p95_us / fpga_reports[0].p95_us;
+        let speedup_128 = gpu_reports[1].p95_us / fpga_reports[1].p95_us;
+        assert!(speedup_128 > speedup_8, "speedup should grow with cluster size");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_seed() {
+        let spec = ClusterSpec::eight_accelerators();
+        let net = LogGpParams::paper_infiniband();
+        let a = simulate_cluster(&spec, &gpu_like(), &net);
+        let b = simulate_cluster(&spec, &gpu_like(), &net);
+        assert_eq!(a.median_us, b.median_us);
+        assert_eq!(a.p99_us, b.p99_us);
+    }
+
+    #[test]
+    fn network_cost_is_included_in_latency() {
+        let spec = ClusterSpec {
+            num_accelerators: 16,
+            dim: 128,
+            k: 10,
+            num_queries: 100,
+            seed: 3,
+        };
+        let report = simulate_cluster(&spec, &fpga_like(), &LogGpParams::paper_infiniband());
+        assert!(report.network_us > 0.0);
+        assert!(report.median_us > fpga_like().median());
+    }
+}

@@ -1,0 +1,84 @@
+//! Broadcast / reduce collectives over a binary tree (§7.3.2).
+//!
+//! The paper assumes the query broadcast and the partial-result reduction
+//! follow a binary-tree topology, so their cost grows with `⌈log2 N⌉` levels;
+//! each reduce level also pays the 1 µs partial-result merge.
+
+use crate::loggp::LogGpParams;
+
+/// Depth of a binary tree over `n` leaves (0 for a single node).
+pub fn binary_tree_depth(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        (n - 1).ilog2() + 1
+    }
+}
+
+/// Cost (µs) of broadcasting a `bytes`-byte query from the coordinator to
+/// `n` accelerators down a binary tree.
+pub fn broadcast_cost_us(params: &LogGpParams, n: usize, bytes: usize) -> f64 {
+    binary_tree_depth(n) as f64 * params.point_to_point_us(bytes)
+}
+
+/// Cost (µs) of reducing `n` partial results (each `bytes` bytes) up a binary
+/// tree, merging two partial result sets at every level.
+pub fn reduce_cost_us(params: &LogGpParams, n: usize, bytes: usize) -> f64 {
+    binary_tree_depth(n) as f64 * (params.point_to_point_us(bytes) + params.merge_us)
+}
+
+/// Total network cost (µs) of one distributed query: broadcast the query,
+/// then reduce the K-result partial answers.
+pub fn distributed_query_network_us(
+    params: &LogGpParams,
+    n: usize,
+    query_bytes: usize,
+    result_bytes: usize,
+) -> f64 {
+    broadcast_cost_us(params, n, query_bytes) + reduce_cost_us(params, n, result_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loggp::{query_message_bytes, result_message_bytes};
+
+    #[test]
+    fn tree_depth_matches_log2() {
+        assert_eq!(binary_tree_depth(1), 0);
+        assert_eq!(binary_tree_depth(2), 1);
+        assert_eq!(binary_tree_depth(8), 3);
+        assert_eq!(binary_tree_depth(9), 4);
+        assert_eq!(binary_tree_depth(1024), 10);
+    }
+
+    #[test]
+    fn single_node_has_no_network_cost() {
+        let p = LogGpParams::paper_infiniband();
+        assert_eq!(broadcast_cost_us(&p, 1, 528), 0.0);
+        assert_eq!(reduce_cost_us(&p, 1, 96), 0.0);
+    }
+
+    #[test]
+    fn network_cost_grows_logarithmically() {
+        let p = LogGpParams::paper_infiniband();
+        let q = query_message_bytes(128);
+        let r = result_message_bytes(10);
+        let c8 = distributed_query_network_us(&p, 8, q, r);
+        let c64 = distributed_query_network_us(&p, 64, q, r);
+        let c1024 = distributed_query_network_us(&p, 1024, q, r);
+        assert!(c64 > c8);
+        assert!(c1024 > c64);
+        // Doubling accelerators from 512 to 1024 adds exactly one tree level.
+        let c512 = distributed_query_network_us(&p, 512, q, r);
+        let level = p.point_to_point_us(q) + p.point_to_point_us(r) + p.merge_us;
+        assert!((c1024 - c512 - level).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_includes_merge_cost() {
+        let p = LogGpParams::paper_infiniband();
+        let without_merge = binary_tree_depth(8) as f64 * p.point_to_point_us(96);
+        assert!((reduce_cost_us(&p, 8, 96) - without_merge - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Latency-distribution utilities shared by the scale-out experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical latency distribution (microseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyDistribution {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyDistribution {
+    /// Wraps a set of latency samples (µs). At least one sample is required.
+    pub fn new(mut samples_us: Vec<f64>) -> Self {
+        assert!(!samples_us.is_empty(), "latency distribution needs samples");
+        samples_us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Self { samples_us }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether the distribution is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples_us
+    }
+
+    /// Linear-interpolation percentile (0–100).
+    pub fn percentile(&self, p: f64) -> f64 {
+        let s = &self.samples_us;
+        let p = p.clamp(0.0, 100.0) / 100.0;
+        let pos = p * (s.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            s[lo]
+        } else {
+            let frac = pos - lo as f64;
+            s[lo] * (1.0 - frac) + s[hi] * frac
+        }
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+    }
+
+    /// Sample by index modulo length (used by the deterministic resampling in
+    /// the cluster simulation).
+    pub fn sample_at(&self, idx: usize) -> f64 {
+        self.samples_us[idx % self.samples_us.len()]
+    }
+
+    /// Tail-to-median ratio (P99 / median), the "latency stability" metric
+    /// that differentiates FPGAs from GPUs in the paper.
+    pub fn tail_ratio(&self) -> f64 {
+        self.percentile(99.0) / self.median().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let d = LatencyDistribution::new((1..=100).map(|i| i as f64).collect());
+        assert!(d.percentile(50.0) < d.percentile(95.0));
+        assert!(d.percentile(95.0) < d.percentile(99.0));
+        assert_eq!(d.percentile(0.0), 1.0);
+        assert_eq!(d.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn median_and_mean_of_uniform_agree() {
+        let d = LatencyDistribution::new((1..=101).map(|i| i as f64).collect());
+        assert!((d.median() - 51.0).abs() < 1e-9);
+        assert!((d.mean() - 51.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_ratio_detects_heavy_tails() {
+        let stable = LatencyDistribution::new(vec![10.0; 99].into_iter().chain([11.0]).collect());
+        let heavy = LatencyDistribution::new((0..99).map(|_| 10.0).chain([1000.0]).collect());
+        assert!(heavy.tail_ratio() > stable.tail_ratio());
+    }
+
+    #[test]
+    fn sample_at_wraps_around() {
+        let d = LatencyDistribution::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.sample_at(0), 1.0);
+        assert_eq!(d.sample_at(4), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_distribution_is_rejected() {
+        let _ = LatencyDistribution::new(vec![]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Scale-out substrate — the distributed half of the evaluation.
+//!
+//! The paper connects FPGAs directly to the network through a hardware
+//! TCP/IP stack and compares an eight-accelerator FPGA cluster against eight
+//! GPUs (Figure 1), then extrapolates to 16–1024 accelerators with a LogGP
+//! network model (Figure 12, §7.3.2). This crate implements that methodology
+//! end to end:
+//!
+//! * [`loggp`] — the LogGP cost model with the paper's constants
+//!   (L = 6.0 µs, o = 4.7 µs, G = 0.73 ns/B, 1.0 µs per partial-result merge),
+//! * [`collective`] — binary-tree broadcast/reduce built on LogGP,
+//! * [`latency`] — latency-distribution utilities (median/P95/P99),
+//! * [`cluster`] — the distributed-query simulation: sample per-node search
+//!   latencies from measured single-node distributions, take the maximum
+//!   over the partitions, and add the network cost.
+
+pub mod cluster;
+pub mod collective;
+pub mod latency;
+pub mod loggp;
+
+pub use cluster::{simulate_cluster, ClusterSpec, DistributedLatencyReport};
+pub use collective::{binary_tree_depth, broadcast_cost_us, reduce_cost_us};
+pub use latency::LatencyDistribution;
+pub use loggp::LogGpParams;

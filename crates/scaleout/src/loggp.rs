@@ -1,0 +1,100 @@
+//! The LogGP communication cost model.
+//!
+//! LogGP extends LogP with a per-byte gap `G` for long messages. The paper
+//! instantiates it with parameters measured for InfiniBand/MPI: maximum
+//! endpoint-to-endpoint latency `L` = 6.0 µs, per-message CPU overhead
+//! `o` = 4.7 µs, and `G` = 0.73 ns per injected byte; merging two partial
+//! result sets costs 1.0 µs. It also measures ~5 µs RTT for the FPGA's
+//! hardware TCP/IP stack, which is what a direct-to-FPGA query pays.
+
+use serde::{Deserialize, Serialize};
+
+/// LogGP parameters in microseconds / bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogGpParams {
+    /// Maximum communication latency between two endpoints (µs).
+    pub latency_us: f64,
+    /// Constant CPU overhead for sending or receiving one message (µs).
+    pub overhead_us: f64,
+    /// Cost per injected byte at the network interface (µs per byte).
+    pub gap_per_byte_us: f64,
+    /// Cost of merging two partial result sets at a tree node (µs).
+    pub merge_us: f64,
+}
+
+impl LogGpParams {
+    /// The constants used in §7.3.2 (InfiniBand measurements from the cited
+    /// LogGP assessment papers).
+    pub fn paper_infiniband() -> Self {
+        Self {
+            latency_us: 6.0,
+            overhead_us: 4.7,
+            gap_per_byte_us: 0.73e-3,
+            merge_us: 1.0,
+        }
+    }
+
+    /// Round-trip time of the FPGA's hardware TCP/IP stack (~5 µs), used for
+    /// the single-accelerator online-query experiments.
+    pub fn hardware_tcp_rtt_us() -> f64 {
+        5.0
+    }
+
+    /// Cost of one point-to-point message of `bytes` bytes (µs):
+    /// `o + L + (bytes − 1)·G + o` (send overhead, wire, per-byte gap,
+    /// receive overhead).
+    pub fn point_to_point_us(&self, bytes: usize) -> f64 {
+        let gap = if bytes == 0 {
+            0.0
+        } else {
+            (bytes as f64 - 1.0) * self.gap_per_byte_us
+        };
+        2.0 * self.overhead_us + self.latency_us + gap
+    }
+}
+
+impl Default for LogGpParams {
+    fn default() -> Self {
+        Self::paper_infiniband()
+    }
+}
+
+/// Size in bytes of a K-result message (id + distance per hit) plus header.
+pub fn result_message_bytes(k: usize) -> usize {
+    16 + k * 8
+}
+
+/// Size in bytes of a query message (a `dim`-dimensional f32 vector + header).
+pub fn query_message_bytes(dim: usize) -> usize {
+    16 + dim * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_loaded() {
+        let p = LogGpParams::paper_infiniband();
+        assert_eq!(p.latency_us, 6.0);
+        assert_eq!(p.overhead_us, 4.7);
+        assert!((p.gap_per_byte_us - 0.00073).abs() < 1e-9);
+        assert_eq!(p.merge_us, 1.0);
+    }
+
+    #[test]
+    fn point_to_point_cost_grows_with_message_size() {
+        let p = LogGpParams::paper_infiniband();
+        let small = p.point_to_point_us(64);
+        let large = p.point_to_point_us(1_000_000);
+        assert!(large > small);
+        // Minimum cost is 2o + L = 15.4 us.
+        assert!((p.point_to_point_us(1) - 15.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_sizes_scale_with_k_and_dim() {
+        assert!(result_message_bytes(100) > result_message_bytes(10));
+        assert_eq!(query_message_bytes(128), 16 + 512);
+    }
+}

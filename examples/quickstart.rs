@@ -1,0 +1,76 @@
+//! Quickstart: run the full FANNS co-design workflow on a synthetic SIFT-like
+//! dataset and query the generated (simulated) accelerator.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fanns::framework::{Fanns, FannsRequest};
+use fanns_dataset::recall::recall_at_k;
+use fanns_dataset::synth::SyntheticSpec;
+use fanns_dataset::ground_truth::ground_truth;
+
+fn main() {
+    // 1. A dataset and a sample query set (stand-ins for SIFT100M).
+    let (database, queries) = SyntheticSpec::sift_medium(42)
+        .with_vectors(30_000)
+        .with_queries(128)
+        .generate();
+    println!(
+        "dataset: {} vectors x {} dims, {} sample queries",
+        database.len(),
+        database.dim(),
+        queries.len()
+    );
+
+    // 2. The deployment requirement: R@10 >= 60% on this dataset, Alveo U55C.
+    let mut request = FannsRequest::recall_goal(10, 0.60);
+    request.explorer.nlist_grid = vec![64, 128, 256];
+
+    // 3. Run the co-design workflow: explore indexes, enumerate designs,
+    //    predict the optimum, generate the accelerator.
+    let generated = Fanns::new(request)
+        .run(&database, &queries)
+        .expect("co-design should succeed on this workload");
+    println!("\n{}", generated.summary());
+    println!("\nindex candidates that met the goal:");
+    for (label, nprobe, recall) in &generated.candidates_summary {
+        println!("  {label:<14} min nprobe {nprobe:>3}  recall {:.1}%", recall * 100.0);
+    }
+
+    // 4. Serve queries on the generated accelerator (cycle-level simulation).
+    let report = generated.simulate(&queries);
+    println!(
+        "\nsimulated accelerator: {:.0} QPS, median latency {:.1} us, P95 {:.1} us, bottleneck {}",
+        report.qps,
+        report.latency_percentile(50.0),
+        report.latency_percentile(95.0),
+        report.bottleneck.name()
+    );
+
+    // 5. Verify the deployed recall on the accelerator's actual results.
+    let gt = ground_truth(&database, &queries, 10);
+    let plan = &generated.plan;
+    let accelerator = fanns_codegen::plan::instantiate(plan, &generated.index).unwrap();
+    let results: Vec<Vec<usize>> = (0..queries.len())
+        .map(|q| {
+            accelerator
+                .simulate_query_fast(queries.get(q))
+                .results
+                .iter()
+                .map(|r| r.id as usize)
+                .collect()
+        })
+        .collect();
+    let recall = recall_at_k(&results, &gt, 10);
+    println!(
+        "deployed recall on the simulated accelerator: R@10 = {:.1}% (goal was 60%)",
+        recall.recall_at_k * 100.0
+    );
+
+    // 6. Peek at the generated kernel plan (the pseudo-HLS artifact).
+    println!("\ngenerated kernel plan (first 16 lines):");
+    for line in generated.kernel_plan.lines().take(16) {
+        println!("  {line}");
+    }
+}

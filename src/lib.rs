@@ -1,0 +1,21 @@
+//! `fanns-suite`: the workspace-level package holding the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! The library surface simply re-exports the umbrella [`fanns`] crate so the
+//! examples and tests read naturally; all functionality lives in the
+//! per-subsystem crates under `crates/`.
+
+pub use fanns::*;
+
+/// Returns the workspace version (shared by every crate).
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::version().is_empty());
+    }
+}

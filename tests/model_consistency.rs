@@ -1,0 +1,121 @@
+//! Integration tests for consistency between the analytic models and the
+//! simulator / measured software across crate boundaries.
+
+use fanns_baselines::gpu::GpuModel;
+use fanns_dataset::synth::SyntheticSpec;
+use fanns_hwsim::accelerator::Accelerator;
+use fanns_hwsim::config::{AcceleratorConfig, SelectArch};
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::params::IvfPqParams;
+use fanns_perfmodel::device::FpgaDevice;
+use fanns_perfmodel::enumerate::{enumerate_designs, EnumerationSpace};
+use fanns_perfmodel::qps::{predict_qps, stage_cycles, WorkloadModel};
+use fanns_perfmodel::resources::{design_resources, DesignContext};
+use fanns_scaleout::cluster::{simulate_cluster, ClusterSpec};
+use fanns_scaleout::latency::LatencyDistribution;
+use fanns_scaleout::loggp::LogGpParams;
+
+fn small_index() -> IvfPqIndex {
+    let (db, _) = SyntheticSpec::sift_small(777).generate();
+    IvfPqIndex::build(
+        &db,
+        &IvfPqTrainConfig::new(16).with_m(16).with_ksub(64).with_train_sample(1_000),
+    )
+}
+
+#[test]
+fn perfmodel_and_simulator_use_the_same_cycle_model() {
+    let index = small_index();
+    let params = IvfPqParams::new(16, 4, 10).with_m(16);
+    let config = AcceleratorConfig::balanced();
+    let accelerator = Accelerator::new(&index, config, params).unwrap();
+    let workload = WorkloadModel::from_index(&index, &params);
+
+    // Evaluate the model at the workload's expected scan count; the
+    // simulator's stage_cycles at the same count must agree exactly.
+    let model = stage_cycles(&workload, &config);
+    let sim = accelerator.stage_cycles(workload.expected_scanned_codes.ceil() as u64);
+    assert_eq!(model, sim);
+}
+
+#[test]
+fn every_enumerated_design_is_instantiable() {
+    let index = small_index();
+    let params = IvfPqParams::new(16, 4, 10).with_m(16);
+    let device = FpgaDevice::alveo_u55c();
+    let ctx = DesignContext {
+        dim: index.dim(),
+        m: index.m(),
+        ksub: index.pq().ksub(),
+        nlist: index.nlist(),
+        nprobe: 4,
+        k: 10,
+        with_network_stack: false,
+    };
+    let designs = enumerate_designs(&EnumerationSpace::small(), &device, &ctx, false);
+    assert!(!designs.is_empty());
+    for design in designs {
+        let usage = design_resources(&design, &ctx);
+        assert!(usage.fits_within(&device.budget()));
+        // The simulator accepts every design the enumerator declared valid.
+        let acc = Accelerator::new(&index, design, params);
+        assert!(acc.is_ok(), "enumerated design failed instantiation: {design:?}");
+    }
+}
+
+#[test]
+fn selk_architecture_choice_respects_k_regime() {
+    // The paper picks HPQ for K=1/K=100 and HSMPQG for K=10 with many
+    // streams; verify the model reproduces the underlying trade-off: for many
+    // streams and small K the hybrid uses fewer LUTs, for K >= streams the
+    // HPQ is the only applicable choice.
+    use fanns_hwsim::select::SelectionSpec;
+    use fanns_perfmodel::resources::selection_resources;
+    let many_streams_small_k_hpq = selection_resources(&SelectionSpec::new(SelectArch::Hpq, 114, 10));
+    let many_streams_small_k_hybrid =
+        selection_resources(&SelectionSpec::new(SelectArch::Hsmpqg, 114, 10));
+    assert!(many_streams_small_k_hybrid.lut < many_streams_small_k_hpq.lut);
+    assert!(!SelectionSpec::new(SelectArch::Hsmpqg, 8, 100).hsmpqg_applicable());
+}
+
+#[test]
+fn gpu_model_beats_fpga_on_throughput_but_not_on_tail() {
+    let index = small_index();
+    let params = IvfPqParams::new(16, 8, 10).with_m(16);
+    let workload = WorkloadModel::analytic(128, 16, 256, 100_000_000, &IvfPqParams::new(8192, 16, 10));
+    let gpu = GpuModel::v100();
+    let fpga_pred = predict_qps(&workload, &AcceleratorConfig::balanced());
+    assert!(gpu.batch_qps(&workload, 10_000) > fpga_pred.qps, "GPU should lead on raw batch QPS");
+
+    // Tail behaviour: FPGA simulated latencies are flat, GPU modelled ones heavy-tailed.
+    let accelerator = Accelerator::new(&index, AcceleratorConfig::balanced(), params).unwrap();
+    let (_, queries) = SyntheticSpec::sift_small(778).generate();
+    let report = accelerator.simulate_batch(&queries, false);
+    let fpga_dist = LatencyDistribution::new(report.latencies_us);
+    let gpu_dist = gpu.online_latency_distribution(&workload, 2_000, 5);
+    assert!(gpu_dist.tail_ratio() > fpga_dist.tail_ratio());
+}
+
+#[test]
+fn fpga_scaleout_advantage_grows_with_cluster_size() {
+    let index = small_index();
+    let params = IvfPqParams::new(16, 8, 10).with_m(16);
+    let accelerator = Accelerator::new(&index, AcceleratorConfig::balanced(), params).unwrap();
+    let (_, queries) = SyntheticSpec::sift_small(779).generate();
+    let fpga_node = LatencyDistribution::new(accelerator.simulate_batch(&queries, false).latencies_us);
+    let gpu_node = GpuModel::v100().online_latency_distribution(
+        &WorkloadModel::from_index(&index, &params),
+        2_000,
+        17,
+    );
+    let net = LogGpParams::paper_infiniband();
+    let spec8 = ClusterSpec::eight_accelerators();
+    let spec256 = ClusterSpec {
+        num_accelerators: 256,
+        ..spec8
+    };
+    let s8 = simulate_cluster(&spec8, &gpu_node, &net).p95_us / simulate_cluster(&spec8, &fpga_node, &net).p95_us;
+    let s256 =
+        simulate_cluster(&spec256, &gpu_node, &net).p95_us / simulate_cluster(&spec256, &fpga_node, &net).p95_us;
+    assert!(s256 > s8, "P95 speedup should grow with cluster size (8: {s8:.1}x, 256: {s256:.1}x)");
+}
