@@ -35,9 +35,13 @@ mod tests {
         let (db, queries) = SyntheticSpec::sift_small(91).generate();
         let index = IvfPqIndex::build(
             &db,
-            &IvfPqTrainConfig::new(16).with_m(16).with_ksub(32).with_train_sample(1_000),
+            &IvfPqTrainConfig::new(16)
+                .with_m(16)
+                .with_ksub(32)
+                .with_train_sample(1_000),
         );
-        let dist = cpu_latency_distribution(&index, IvfPqParams::new(16, 4, 10).with_m(16), &queries);
+        let dist =
+            cpu_latency_distribution(&index, IvfPqParams::new(16, 4, 10).with_m(16), &queries);
         assert_eq!(dist.len(), queries.len());
         assert!(dist.median() > 0.0);
     }

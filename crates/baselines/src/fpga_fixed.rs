@@ -40,7 +40,10 @@ mod tests {
         let (db, queries) = SyntheticSpec::sift_small(92).generate();
         let index = IvfPqIndex::build(
             &db,
-            &IvfPqTrainConfig::new(16).with_m(16).with_ksub(32).with_train_sample(1_000),
+            &IvfPqTrainConfig::new(16)
+                .with_m(16)
+                .with_ksub(32)
+                .with_train_sample(1_000),
         );
         let report = measure_fixed_fpga(
             &index,
@@ -58,7 +61,10 @@ mod tests {
         let (db, queries) = SyntheticSpec::sift_small(93).generate();
         let index = IvfPqIndex::build(
             &db,
-            &IvfPqTrainConfig::new(16).with_m(16).with_ksub(32).with_train_sample(1_000),
+            &IvfPqTrainConfig::new(16)
+                .with_m(16)
+                .with_ksub(32)
+                .with_train_sample(1_000),
         );
         for k in [1, 10, 100] {
             let report = measure_fixed_fpga(

@@ -81,7 +81,11 @@ impl GpuModel {
         let k = workload.k as f64;
 
         // Stage OPQ: dim × dim MACs per query (compute bound).
-        let opq = if workload.opq { batch * dim * dim * 2.0 / flops_avail } else { 0.0 };
+        let opq = if workload.opq {
+            batch * dim * dim * 2.0 / flops_avail
+        } else {
+            0.0
+        };
         // Stage IVFDist: nlist distances of dim dims, streaming the centroid table.
         let ivf_flops = batch * nlist * dim * 2.0;
         let ivf_bytes = nlist * dim * 4.0 + batch * nlist * 4.0;
@@ -156,7 +160,13 @@ pub struct GpuRunReport {
 
 impl GpuRunReport {
     /// Runs the model for a workload.
-    pub fn measure(model: &GpuModel, workload: &WorkloadModel, batch: usize, queries: usize, seed: u64) -> Self {
+    pub fn measure(
+        model: &GpuModel,
+        workload: &WorkloadModel,
+        batch: usize,
+        queries: usize,
+        seed: u64,
+    ) -> Self {
         Self {
             batch_qps: model.batch_qps(workload, batch),
             latency: model.online_latency_distribution(workload, queries, seed),
@@ -179,7 +189,10 @@ mod tests {
         // Faiss on a V100 reaches tens of thousands of QPS on SIFT100M at
         // moderate nprobe; the model should land in that order of magnitude.
         let qps = GpuModel::v100().batch_qps(&workload(8192, 16, 10), 10_000);
-        assert!(qps > 10_000.0 && qps < 1_000_000.0, "GPU QPS {qps} implausible");
+        assert!(
+            qps > 10_000.0 && qps < 1_000_000.0,
+            "GPU QPS {qps} implausible"
+        );
     }
 
     #[test]
@@ -203,7 +216,11 @@ mod tests {
     fn online_latency_has_a_heavy_tail() {
         let model = GpuModel::v100();
         let dist = model.online_latency_distribution(&workload(8192, 16, 10), 5_000, 7);
-        assert!(dist.tail_ratio() > 2.0, "GPU tail ratio {}", dist.tail_ratio());
+        assert!(
+            dist.tail_ratio() > 2.0,
+            "GPU tail ratio {}",
+            dist.tail_ratio()
+        );
     }
 
     #[test]

@@ -16,9 +16,13 @@ fn bench_nprobe_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_cpu_nprobe_sweep");
     group.sample_size(20);
     for nprobe in [1usize, 8, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(nprobe), &nprobe, |b, &nprobe| {
-            b.iter(|| search(&index, black_box(&query), 10, nprobe));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nprobe),
+            &nprobe,
+            |b, &nprobe| {
+                b.iter(|| search(&index, black_box(&query), 10, nprobe));
+            },
+        );
     }
     group.finish();
 }
@@ -52,5 +56,10 @@ fn bench_nlist_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nprobe_sweep, bench_k_sweep, bench_nlist_sweep);
+criterion_group!(
+    benches,
+    bench_nprobe_sweep,
+    bench_k_sweep,
+    bench_nlist_sweep
+);
 criterion_main!(benches);

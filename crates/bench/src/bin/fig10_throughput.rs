@@ -13,7 +13,11 @@ use fanns_ivf::baseline_cpu::CpuSearcher;
 use fanns_perfmodel::qps::WorkloadModel;
 
 fn run_dataset(workload: &Workload, scale: Scale) {
-    println!("\n### dataset: {} ({} vectors) ###", workload.name, workload.database.len());
+    println!(
+        "\n### dataset: {} ({} vectors) ###",
+        workload.name,
+        workload.database.len()
+    );
     // Recall goals per K, scaled down from the paper's SIFT100M goals.
     let goals = [(1usize, 0.20), (10, 0.60), (100, 0.90)];
     println!(
@@ -27,7 +31,10 @@ fn run_dataset(workload: &Workload, scale: Scale) {
         let generated = match Fanns::new(request).run(&workload.database, &workload.queries) {
             Ok(g) => g,
             Err(e) => {
-                println!("{:<22} co-design failed: {e}", format!("R@{k}={:.0}%", goal * 100.0));
+                println!(
+                    "{:<22} co-design failed: {e}",
+                    format!("R@{k}={:.0}%", goal * 100.0)
+                );
                 continue;
             }
         };
@@ -46,22 +53,31 @@ fn run_dataset(workload: &Workload, scale: Scale) {
         let fanns_report = generated.simulate(&workload.queries);
 
         // GPU baseline: analytic model on the same workload.
-        let gpu_qps = GpuModel::v100().batch_qps(&WorkloadModel::from_index(&generated.index, &params), 10_000);
+        let gpu_qps = GpuModel::v100().batch_qps(
+            &WorkloadModel::from_index(&generated.index, &params),
+            10_000,
+        );
 
+        let row_label = format!(
+            "R@{k}={:.0}% ({})",
+            goal * 100.0,
+            generated.choice.index_label
+        );
         println!(
             "{:<22} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
-            format!("R@{k}={:.0}% ({})", goal * 100.0, generated.choice.index_label),
-            cpu_report.qps,
-            fpga_base,
-            fanns_report.qps,
-            gpu_qps
+            row_label, cpu_report.qps, fpga_base, fanns_report.qps, gpu_qps
+        );
+        let speedup = format!(
+            "speedup vs base {:.1}x",
+            fanns_report.qps / fpga_base.max(1e-9)
+        );
+        let accuracy = format!(
+            "{:.0}%",
+            100.0 * fanns_report.qps / generated.choice.prediction.qps.max(1e-9)
         );
         println!(
             "{:<22} {:>14} {:>14} {:>14} predicted={:.0} ({} of simulated)",
-            "", "", "",
-            format!("speedup vs base {:.1}x", fanns_report.qps / fpga_base.max(1e-9)),
-            generated.choice.prediction.qps,
-            format!("{:.0}%", 100.0 * fanns_report.qps / generated.choice.prediction.qps.max(1e-9))
+            "", "", "", speedup, generated.choice.prediction.qps, accuracy
         );
     }
 }

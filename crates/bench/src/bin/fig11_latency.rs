@@ -44,7 +44,10 @@ fn main() {
         }
     };
     let params = generated.choice.params;
-    println!("index: {}, nprobe={}, K=10\n", generated.choice.index_label, params.nprobe);
+    println!(
+        "index: {}, nprobe={}, K=10\n",
+        generated.choice.index_label, params.nprobe
+    );
 
     // CPU: measured one-query-at-a-time latencies.
     let cpu = cpu_latency_distribution(&generated.index, params, &workload.queries);

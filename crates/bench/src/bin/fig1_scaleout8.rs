@@ -56,7 +56,10 @@ fn main() {
     let fpga_cluster = simulate_cluster(&spec, &fpga_node, &net);
     let gpu_cluster = simulate_cluster(&spec, &gpu_node, &net);
 
-    println!("{:<18} {:>14} {:>14} {:>14}", "cluster (N=8)", "median (us)", "P95 (us)", "P99 (us)");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        "cluster (N=8)", "median (us)", "P95 (us)", "P99 (us)"
+    );
     println!(
         "{:<18} {:>14.1} {:>14.1} {:>14.1}",
         "8x FPGA (FANNS)", fpga_cluster.median_us, fpga_cluster.p95_us, fpga_cluster.p99_us

@@ -76,7 +76,10 @@ fn main() {
         let wm = WorkloadModel::analytic(128, 16, 256, 100_000_000, &params);
         let times = gpu.stage_times_s(&wm, 10_000);
         let total: f64 = times.iter().sum();
-        print_row(&format!("nlist={nlist}"), &times.map(|t| t / total.max(1e-30)));
+        print_row(
+            &format!("nlist={nlist}"),
+            &times.map(|t| t / total.max(1e-30)),
+        );
     }
 
     // --- Column 3: sweep K at a fixed index. ---

@@ -37,7 +37,13 @@ fn best_design(
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
 }
 
-fn print_design_row(label: &str, design: &AcceleratorConfig, workload: &WorkloadModel, qps: f64, device: &FpgaDevice) {
+fn print_design_row(
+    label: &str,
+    design: &AcceleratorConfig,
+    workload: &WorkloadModel,
+    qps: f64,
+    device: &FpgaDevice,
+) {
     let ctx = DesignContext {
         dim: workload.dim,
         m: workload.m,
@@ -64,7 +70,13 @@ fn main() {
     let space = EnumerationSpace::standard();
     // Paper-scale workload: 100M vectors, 16-byte codes.
     let base = |nlist: usize, nprobe: usize, k: usize| {
-        WorkloadModel::analytic(128, 16, 256, 100_000_000, &IvfPqParams::new(nlist, nprobe, k))
+        WorkloadModel::analytic(
+            128,
+            16,
+            256,
+            100_000_000,
+            &IvfPqParams::new(nlist, nprobe, k),
+        )
     };
 
     print_header(

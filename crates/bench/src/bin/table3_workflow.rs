@@ -13,7 +13,10 @@ fn main() {
     let scale = Scale::from_env();
     let workload = sift_workload(scale);
 
-    print_header("Table 3", "time consumption of the FANNS workflow (this reproduction)");
+    print_header(
+        "Table 3",
+        "time consumption of the FANNS workflow (this reproduction)",
+    );
 
     let mut request = FannsRequest::recall_goal(10, 0.60);
     request.explorer.nlist_grid = scale.nlist_grid();
@@ -27,14 +30,26 @@ fn main() {
 
     let t = &generated.timings;
     println!("{:<42} {:>12}", "step", "time");
-    println!("{:<42} {:>12}", "compute sample ground truth", format!("{:.2?}", t.ground_truth));
+    println!(
+        "{:<42} {:>12}",
+        "compute sample ground truth",
+        format!("{:.2?}", t.ground_truth)
+    );
     println!(
         "{:<42} {:>12}",
         "build indexes + recall-nprobe relationship",
         format!("{:.2?}", t.explore_indexes)
     );
-    println!("{:<42} {:>12}", "predict optimal design", format!("{:.2?}", t.predict_design));
-    println!("{:<42} {:>12}", "FPGA code generation (kernel plan)", format!("{:.2?}", t.code_generation));
+    println!(
+        "{:<42} {:>12}",
+        "predict optimal design",
+        format!("{:.2?}", t.predict_design)
+    );
+    println!(
+        "{:<42} {:>12}",
+        "FPGA code generation (kernel plan)",
+        format!("{:.2?}", t.code_generation)
+    );
     println!(
         "{:<42} {:>12}",
         "accelerator instantiation (sim 'bitstream')",

@@ -72,7 +72,10 @@ fn main() {
                     generated.summary()
                 );
             }
-            Err(e) => println!("[K={k}, goal R@{k}={:.0}%] co-design failed: {e}", goal * 100.0),
+            Err(e) => println!(
+                "[K={k}, goal R@{k}={:.0}%] co-design failed: {e}",
+                goal * 100.0
+            ),
         }
     }
 

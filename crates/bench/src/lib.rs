@@ -27,7 +27,11 @@ impl Scale {
     /// Reads the scale from `FANNS_SCALE` (defaults to `small` so that
     /// `cargo bench`/CI runs stay fast; EXPERIMENTS.md uses `medium`).
     pub fn from_env() -> Self {
-        match std::env::var("FANNS_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("FANNS_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "medium" => Scale::Medium,
             "large" => Scale::Large,
             _ => Scale::Small,

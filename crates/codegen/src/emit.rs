@@ -27,7 +27,9 @@ pub fn emit_kernel_plan(plan: &AcceleratorPlan) -> String {
         plan.name, plan.index_label, p.nlist, p.nprobe, p.k, p.m, p.opq, d.freq_mhz
     ));
 
-    out.push_str("void fanns_kernel(hls::stream<query_t>& query_in, hls::stream<result_t>& result_out) {\n");
+    out.push_str(
+        "void fanns_kernel(hls::stream<query_t>& query_in, hls::stream<result_t>& result_out) {\n",
+    );
     out.push_str("#pragma HLS dataflow\n\n");
 
     // Stage OPQ.
@@ -52,12 +54,18 @@ pub fn emit_kernel_plan(plan: &AcceleratorPlan) -> String {
         p.nlist
     ));
     for i in 0..d.sizing.ivf_dist_pes {
-        out.push_str(&format!("    ivf_dist_pe_{i}(s_opq_bcast, s_ivf_dist_{i});\n"));
+        out.push_str(&format!(
+            "    ivf_dist_pe_{i}(s_opq_bcast, s_ivf_dist_{i});\n"
+        ));
     }
     out.push('\n');
 
     // Stage SelCells.
-    let sel_cells = SelectionSpec::new(d.sel_cells_arch, d.sel_cells_streams(), p.effective_nprobe());
+    let sel_cells = SelectionSpec::new(
+        d.sel_cells_arch,
+        d.sel_cells_streams(),
+        p.effective_nprobe(),
+    );
     out.push_str(&format!(
         "    // Stage SelCells: {} over {} streams selecting nprobe={} ({} queue registers)\n",
         d.sel_cells_arch.name(),

@@ -86,7 +86,10 @@ mod tests {
         let (db, _) = SyntheticSpec::sift_small(81).generate();
         let index = IvfPqIndex::build(
             &db,
-            &IvfPqTrainConfig::new(16).with_m(16).with_ksub(64).with_train_sample(1_000),
+            &IvfPqTrainConfig::new(16)
+                .with_m(16)
+                .with_ksub(64)
+                .with_train_sample(1_000),
         );
         let params = IvfPqParams::new(16, 4, 10).with_m(16);
         let plan = AcceleratorPlan::new(
@@ -113,7 +116,10 @@ mod tests {
         let (plan, index) = plan_and_index();
         let acc = instantiate(&plan, &index).unwrap();
         assert_eq!(acc.params().k, 10);
-        assert_eq!(acc.config().sizing.pq_dist_pes, plan.design.sizing.pq_dist_pes);
+        assert_eq!(
+            acc.config().sizing.pq_dist_pes,
+            plan.design.sizing.pq_dist_pes
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl GroundTruth {
     /// Truncates the ground truth to the top `k` neighbours (e.g. reuse a
     /// K=100 ground truth for an R@10 evaluation).
     pub fn truncated(&self, k: usize) -> GroundTruth {
-        assert!(k <= self.k, "cannot extend ground truth from {} to {k}", self.k);
+        assert!(
+            k <= self.k,
+            "cannot extend ground truth from {} to {k}",
+            self.k
+        );
         GroundTruth {
             k,
             neighbors: self.neighbors.iter().map(|n| n[..k].to_vec()).collect(),
@@ -113,7 +117,7 @@ pub fn exact_topk(database: &VectorDataset, query: &[f32], k: usize) -> (Vec<usi
         }
     }
     let mut entries: Vec<HeapEntry> = heap.into_vec();
-    entries.sort_by(|a, b| a.cmp(b));
+    entries.sort();
     (
         entries.iter().map(|e| e.id).collect(),
         entries.iter().map(|e| e.dist).collect(),
@@ -122,7 +126,10 @@ pub fn exact_topk(database: &VectorDataset, query: &[f32], k: usize) -> (Vec<usi
 
 /// Computes the exact ground truth for every query in parallel.
 pub fn ground_truth(database: &VectorDataset, queries: &QuerySet, k: usize) -> GroundTruth {
-    assert!(!database.is_empty(), "cannot build ground truth on an empty database");
+    assert!(
+        !database.is_empty(),
+        "cannot build ground truth on an empty database"
+    );
     let results: Vec<(Vec<usize>, Vec<f32>)> = (0..queries.len())
         .into_par_iter()
         .map(|q| exact_topk(database, queries.get(q), k))

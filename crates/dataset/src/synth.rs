@@ -158,7 +158,9 @@ impl SyntheticSpec {
             self.kind,
         );
         let queries = generate_points(
-            self.seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).wrapping_add(1),
+            self.seed
+                .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                .wrapping_add(1),
             self.num_queries,
             dim,
             &anchors,
@@ -242,7 +244,9 @@ fn generate_points(
     let pieces: Vec<Vec<f32>> = chunks
         .par_iter()
         .map(|&(start, end)| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (start as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (start as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            );
             let mut out = Vec::with_capacity((end - start) * dim);
             for _ in start..end {
                 let c = sample_concept(&mut rng, &cdf);
@@ -251,7 +255,10 @@ fn generate_points(
                 for d in 0..dim {
                     // Sum of three uniforms approximates a Gaussian well enough
                     // for clustering structure and is cheap and portable.
-                    let g = (normal.sample(&mut rng) + normal.sample(&mut rng) + normal.sample(&mut rng)) / 1.732;
+                    let g = (normal.sample(&mut rng)
+                        + normal.sample(&mut rng)
+                        + normal.sample(&mut rng))
+                        / 1.732;
                     out.push(anchor[d] + scale[d] * g);
                 }
             }

@@ -22,7 +22,7 @@ impl VectorDataset {
     pub fn new(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "vector dimensionality must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "flat buffer length {} is not a multiple of dim {}",
             data.len(),
             dim

@@ -98,6 +98,10 @@ impl IndexCandidate {
     }
 }
 
+/// A recall curve: `(nprobe, recall)` per grid point, plus the first point
+/// meeting the goal (if any).
+pub type RecallCurve = (Vec<(usize, f64)>, Option<(usize, f64)>);
+
 /// Measures the recall of `index` at each nprobe in `grid` and returns the
 /// curve plus the minimum nprobe achieving `goal` (if any).
 pub fn recall_vs_nprobe(
@@ -107,11 +111,13 @@ pub fn recall_vs_nprobe(
     grid: &[usize],
     k: usize,
     goal: f64,
-) -> (Vec<(usize, f64)>, Option<(usize, f64)>) {
+) -> RecallCurve {
     let mut curve = Vec::with_capacity(grid.len());
     let mut found: Option<(usize, f64)> = None;
     for &nprobe in grid {
-        let params = IvfPqParams::new(index.nlist(), nprobe, k).with_m(index.m()).with_opq(index.has_opq());
+        let params = IvfPqParams::new(index.nlist(), nprobe, k)
+            .with_m(index.m())
+            .with_opq(index.has_opq());
         let searcher = CpuSearcher::new(index, params);
         let results = searcher.search_batch(queries);
         let report = recall_at_k(&CpuSearcher::ids_only(&results), ground_truth, k);
@@ -136,7 +142,11 @@ pub fn explore_indexes(
     config: &IndexExplorerConfig,
 ) -> Vec<IndexCandidate> {
     let mut candidates = Vec::new();
-    let opq_options: Vec<bool> = if config.try_opq { vec![false, true] } else { vec![false] };
+    let opq_options: Vec<bool> = if config.try_opq {
+        vec![false, true]
+    } else {
+        vec![false]
+    };
     for &nlist in &config.nlist_grid {
         for &opq in &opq_options {
             let train = IvfPqTrainConfig::new(nlist)
@@ -207,12 +217,19 @@ mod tests {
         // (extra candidates carry quantization noise), but scanning every
         // cell must do at least as well as scanning one, minus a small slack.
         let (db, queries, gt) = setup();
-        let train = IvfPqTrainConfig::new(16).with_m(16).with_ksub(64).with_train_sample(1_000);
+        let train = IvfPqTrainConfig::new(16)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000);
         let index = IvfPqIndex::build(&db, &train);
         let (curve, _) = recall_vs_nprobe(&index, &queries, &gt, &[1, 4, 16], 10, 2.0);
         assert_eq!(curve.len(), 3);
         assert!(curve[2].1 + 0.05 >= curve[0].1);
-        assert!(curve[2].1 > 0.5, "full-probe recall unexpectedly low: {}", curve[2].1);
+        assert!(
+            curve[2].1 > 0.5,
+            "full-probe recall unexpectedly low: {}",
+            curve[2].1
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ pub fn co_design(
         let best_for_candidate = designs
             .par_iter()
             .map(|design| (*design, predict_qps(&workload, design)))
-            .max_by(|a, b| a.1.qps.partial_cmp(&b.1.qps).unwrap_or(std::cmp::Ordering::Equal));
+            .max_by(|a, b| {
+                a.1.qps
+                    .partial_cmp(&b.1.qps)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
 
         if let Some((design, prediction)) = best_for_candidate {
             let better = match &best {
@@ -141,7 +145,12 @@ mod tests {
     fn co_design_picks_the_highest_predicted_qps() {
         let cands = candidates();
         assert!(!cands.is_empty());
-        let choice = co_design(&cands, &FpgaDevice::alveo_u55c(), &CoDesignConfig::small(10)).unwrap();
+        let choice = co_design(
+            &cands,
+            &FpgaDevice::alveo_u55c(),
+            &CoDesignConfig::small(10),
+        )
+        .unwrap();
         assert!(choice.prediction.qps > 0.0);
         assert!(choice.combinations_evaluated > 0);
         assert!(choice.candidate_idx < cands.len());
@@ -158,8 +167,14 @@ mod tests {
     #[test]
     fn larger_k_reduces_predicted_qps() {
         let cands = candidates();
-        let small_k = co_design(&cands, &FpgaDevice::alveo_u55c(), &CoDesignConfig::small(1)).unwrap();
-        let large_k = co_design(&cands, &FpgaDevice::alveo_u55c(), &CoDesignConfig::small(100)).unwrap();
+        let small_k =
+            co_design(&cands, &FpgaDevice::alveo_u55c(), &CoDesignConfig::small(1)).unwrap();
+        let large_k = co_design(
+            &cands,
+            &FpgaDevice::alveo_u55c(),
+            &CoDesignConfig::small(100),
+        )
+        .unwrap();
         assert!(large_k.prediction.qps <= small_k.prediction.qps);
     }
 }

@@ -57,8 +57,20 @@ pub fn design_table(rows: &[DesignRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<22} {:<14} {:>7} {:>5} {:>5} {:>5} {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
-        "design", "index", "nprobe", "#OPQ", "#IVF", "#LUT", "#PQD", "OPQ%", "IVFDist%", "SelCell%",
-        "BuildLUT%", "PQDist%", "SelK%", "pred.QPS"
+        "design",
+        "index",
+        "nprobe",
+        "#OPQ",
+        "#IVF",
+        "#LUT",
+        "#PQD",
+        "OPQ%",
+        "IVFDist%",
+        "SelCell%",
+        "BuildLUT%",
+        "PQDist%",
+        "SelK%",
+        "pred.QPS"
     ));
     for r in rows {
         let f = r.stage_lut_fraction;

@@ -135,6 +135,14 @@ impl GeneratedAccelerator {
         accelerator.simulate_batch(queries, false)
     }
 
+    /// Consumes the generated accelerator into an online serving backend:
+    /// the index (the "database in HBM") and the build plan move into a
+    /// [`fanns_serve::AcceleratorBackend`] ready to sit behind a
+    /// [`fanns_serve::QueryEngine`].
+    pub fn into_backend(self) -> fanns_serve::AcceleratorBackend {
+        fanns_serve::AcceleratorBackend::new(self.index, self.plan)
+    }
+
     /// One-paragraph human-readable summary of the outcome.
     pub fn summary(&self) -> String {
         format!(

@@ -45,3 +45,4 @@ pub use fanns_ivf as ivf;
 pub use fanns_perfmodel as perfmodel;
 pub use fanns_quantize as quantize;
 pub use fanns_scaleout as scaleout;
+pub use fanns_serve as serve;

@@ -131,8 +131,13 @@ impl std::fmt::Display for AcceleratorError {
                 what,
                 required,
                 available,
-            } => write!(f, "{what} needs {required} B on-chip but only {available} B are free"),
-            AcceleratorError::OpqMismatch => write!(f, "OPQ PE allocation does not match the index"),
+            } => write!(
+                f,
+                "{what} needs {required} B on-chip but only {available} B are free"
+            ),
+            AcceleratorError::OpqMismatch => {
+                write!(f, "OPQ PE allocation does not match the index")
+            }
         }
     }
 }
@@ -186,7 +191,8 @@ impl<'a> Accelerator<'a> {
         }
         if config.lut_store == IndexStore::OnChip {
             let codebook_bytes =
-                (index.m() * index.pq().ksub() * index.pq().dsub() * std::mem::size_of::<f32>()) as u64;
+                (index.m() * index.pq().ksub() * index.pq().dsub() * std::mem::size_of::<f32>())
+                    as u64;
             let available = on_chip.available();
             if !on_chip.allocate("PQ sub-quantizer codebooks", codebook_bytes) {
                 return Err(AcceleratorError::OnChipOverflow {
@@ -255,8 +261,7 @@ impl<'a> Accelerator<'a> {
         let pq_cycles = pq_dist_pe_model(m, ksub, nprobe)
             .cycles(pq_dist_elements_per_pe(scanned_codes as f64, s.pq_dist_pes));
 
-        let sel_k_spec =
-            SelectionSpec::new(self.config.sel_k_arch, self.config.sel_k_streams(), k);
+        let sel_k_spec = SelectionSpec::new(self.config.sel_k_arch, self.config.sel_k_streams(), k);
         let sel_k_cycles = sel_k_spec
             .cycles_per_query(pq_dist_elements_per_pe(scanned_codes as f64, s.pq_dist_pes));
 
@@ -395,8 +400,8 @@ impl<'a> Accelerator<'a> {
         let mut scanned = 0u64;
 
         for o in outcomes {
-            for i in 0..6 {
-                mean_stage_cycles[i] += o.stage_cycles[i] as f64 / n as f64;
+            for (mean, &cycles) in mean_stage_cycles.iter_mut().zip(&o.stage_cycles) {
+                *mean += cycles as f64 / n as f64;
             }
             let slowest = *o.stage_cycles.iter().max().unwrap_or(&0);
             total_bottleneck_cycles += slowest;
@@ -410,7 +415,10 @@ impl<'a> Accelerator<'a> {
         // pipeline fill.
         let fill: u64 = outcomes
             .first()
-            .map(|o| o.latency_cycles.saturating_sub(*o.stage_cycles.iter().max().unwrap_or(&0)))
+            .map(|o| {
+                o.latency_cycles
+                    .saturating_sub(*o.stage_cycles.iter().max().unwrap_or(&0))
+            })
             .unwrap_or(0);
         let total_cycles = total_bottleneck_cycles + fill;
         let qps = if total_cycles == 0 {
@@ -482,7 +490,8 @@ mod tests {
     #[test]
     fn hardware_functional_path_matches_software_reference() {
         let (_, queries, index) = setup(false);
-        let acc = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
+        let acc =
+            Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
         for q in 0..6 {
             let hw = acc.simulate_query(queries.get(q));
             let sw = search(&index, queries.get(q), 10, 4);
@@ -495,7 +504,8 @@ mod tests {
     #[test]
     fn fast_path_and_hw_path_agree() {
         let (_, queries, index) = setup(false);
-        let acc = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 8, 10)).unwrap();
+        let acc =
+            Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 8, 10)).unwrap();
         for q in 0..4 {
             let a = acc.simulate_query(queries.get(q));
             let b = acc.simulate_query_fast(queries.get(q));
@@ -542,13 +552,20 @@ mod tests {
     #[test]
     fn scanning_more_cells_increases_pqdist_cycles_and_latency() {
         let (_, queries, index) = setup(false);
-        let narrow = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 1, 10)).unwrap();
-        let wide = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 16, 10)).unwrap();
+        let narrow =
+            Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 1, 10)).unwrap();
+        let wide = Accelerator::new(
+            &index,
+            AcceleratorConfig::balanced(),
+            params(&index, 16, 10),
+        )
+        .unwrap();
         let a = narrow.simulate_query_fast(queries.get(0));
         let b = wide.simulate_query_fast(queries.get(0));
         assert!(b.scanned_codes > a.scanned_codes);
         assert!(
-            b.stage_cycles[SearchStage::PqDist.position()] > a.stage_cycles[SearchStage::PqDist.position()]
+            b.stage_cycles[SearchStage::PqDist.position()]
+                > a.stage_cycles[SearchStage::PqDist.position()]
         );
         assert!(b.latency_cycles > a.latency_cycles);
     }
@@ -556,7 +573,8 @@ mod tests {
     #[test]
     fn batch_report_is_internally_consistent() {
         let (_, queries, index) = setup(false);
-        let acc = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
+        let acc =
+            Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
         let report = acc.simulate_batch(&queries, false);
         assert_eq!(report.queries, queries.len());
         assert_eq!(report.latencies_us.len(), queries.len());
@@ -579,8 +597,12 @@ mod tests {
         // so SelK does not become the artificial bottleneck.
         large.sel_k_arch = SelectArch::Hsmpqg;
         let p = params(&index, 16, 10);
-        let r_small = Accelerator::new(&index, small, p).unwrap().simulate_batch(&queries, false);
-        let r_large = Accelerator::new(&index, large, p).unwrap().simulate_batch(&queries, false);
+        let r_small = Accelerator::new(&index, small, p)
+            .unwrap()
+            .simulate_batch(&queries, false);
+        let r_large = Accelerator::new(&index, large, p)
+            .unwrap()
+            .simulate_batch(&queries, false);
         assert!(r_large.qps > r_small.qps);
     }
 
@@ -589,9 +611,13 @@ mod tests {
         // The deterministic pipeline should keep P95/median close to 1 —
         // the property that drives the paper's scale-out result.
         let (_, queries, index) = setup(false);
-        let acc = Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
+        let acc =
+            Accelerator::new(&index, AcceleratorConfig::balanced(), params(&index, 4, 10)).unwrap();
         let report = acc.simulate_batch(&queries, false);
         let ratio = report.latency_percentile(95.0) / report.latency_percentile(50.0).max(1e-9);
-        assert!(ratio < 2.0, "FPGA tail/median ratio unexpectedly high: {ratio}");
+        assert!(
+            ratio < 2.0,
+            "FPGA tail/median ratio unexpectedly high: {ratio}"
+        );
     }
 }

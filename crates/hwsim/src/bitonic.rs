@@ -21,7 +21,10 @@ pub fn next_power_of_two(n: usize) -> usize {
 /// Pipeline latency, in clock cycles, of a bitonic sort network of width `l`
 /// (`l` must be a power of two): `log2(l) * (1 + log2(l)) / 2`.
 pub fn sort_latency_cycles(width: usize) -> u64 {
-    assert!(width.is_power_of_two(), "bitonic width must be a power of two");
+    assert!(
+        width.is_power_of_two(),
+        "bitonic width must be a power of two"
+    );
     let stages = width.trailing_zeros() as u64;
     stages * (stages + 1) / 2
 }
@@ -29,7 +32,10 @@ pub fn sort_latency_cycles(width: usize) -> u64 {
 /// Pipeline latency of a bitonic partial merger of width `l`: a single merge
 /// phase of `log2(2l)` compare-swap stages.
 pub fn merge_latency_cycles(width: usize) -> u64 {
-    assert!(width.is_power_of_two(), "bitonic width must be a power of two");
+    assert!(
+        width.is_power_of_two(),
+        "bitonic width must be a power of two"
+    );
     (2 * width).trailing_zeros() as u64
 }
 
@@ -61,7 +67,10 @@ pub struct BitonicSorter {
 impl BitonicSorter {
     /// Creates a sorter of the given power-of-two width.
     pub fn new(width: usize) -> Self {
-        assert!(width.is_power_of_two(), "bitonic width must be a power of two");
+        assert!(
+            width.is_power_of_two(),
+            "bitonic width must be a power of two"
+        );
         Self { width }
     }
 
@@ -103,7 +112,10 @@ pub struct BitonicPartialMerger {
 impl BitonicPartialMerger {
     /// Creates a merger of the given power-of-two width.
     pub fn new(width: usize) -> Self {
-        assert!(width.is_power_of_two(), "bitonic width must be a power of two");
+        assert!(
+            width.is_power_of_two(),
+            "bitonic width must be a power of two"
+        );
         Self { width }
     }
 

@@ -126,8 +126,8 @@ impl SelectionSpec {
                 // group absorbs s winners per cycle and its own reduction
                 // covers only 2s·s survivors.
                 let w = self.hsmpqg_width();
-                let pipeline = sort_latency_cycles(w)
-                    + self.hsmpqg_merge_levels() * merge_latency_cycles(w);
+                let pipeline =
+                    sort_latency_cycles(w) + self.hsmpqg_merge_levels() * merge_latency_cycles(w);
                 let ingest = values_per_stream;
                 let reduce = 2 * (2 * s * s) + 2 * s;
                 ingest.max(reduce) + pipeline + 4
@@ -229,10 +229,8 @@ impl KSelectionUnit {
                 .collect();
             // Sort groups of w streams, then merge pair-wise down to one
             // sorted w-vector of the cycle's winners.
-            let mut sorted_groups: Vec<Vec<QueueItem>> = slice
-                .chunks(w)
-                .map(|chunk| sorter.sort(chunk))
-                .collect();
+            let mut sorted_groups: Vec<Vec<QueueItem>> =
+                slice.chunks(w).map(|chunk| sorter.sort(chunk)).collect();
             while sorted_groups.len() > 1 {
                 let mut next = Vec::with_capacity(sorted_groups.len().div_ceil(2));
                 let mut iter = sorted_groups.chunks(2);
@@ -351,8 +349,14 @@ mod tests {
         assert_eq!(spec.hsmpqg_width(), 16);
         assert_eq!(spec.hsmpqg_sorters(), 5);
         // 16 < z <= 32: two sorters; 32 < z <= 48: three sorters.
-        assert_eq!(SelectionSpec::new(SelectArch::Hsmpqg, 32, 10).hsmpqg_sorters(), 2);
-        assert_eq!(SelectionSpec::new(SelectArch::Hsmpqg, 48, 10).hsmpqg_sorters(), 3);
+        assert_eq!(
+            SelectionSpec::new(SelectArch::Hsmpqg, 32, 10).hsmpqg_sorters(),
+            2
+        );
+        assert_eq!(
+            SelectionSpec::new(SelectArch::Hsmpqg, 48, 10).hsmpqg_sorters(),
+            3
+        );
     }
 
     proptest! {

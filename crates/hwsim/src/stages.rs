@@ -110,7 +110,9 @@ pub fn ivf_dist_pe_model(dim: usize, store: IndexStore) -> PeCycleModel {
     let base_ii = (dim as u64).div_ceil(IVF_DIST_LANES);
     match store {
         IndexStore::OnChip => PeCycleModel::new(base_ii + 8, base_ii),
-        IndexStore::Hbm => PeCycleModel::new(base_ii + 8 + HBM_EXTRA_LATENCY, base_ii + HBM_II_PENALTY),
+        IndexStore::Hbm => {
+            PeCycleModel::new(base_ii + 8 + HBM_EXTRA_LATENCY, base_ii + HBM_II_PENALTY)
+        }
     }
 }
 
@@ -127,7 +129,9 @@ pub fn build_lut_pe_model(dsub: usize, store: IndexStore) -> PeCycleModel {
     let base_ii = (dsub as u64).div_ceil(BUILD_LUT_LANES);
     match store {
         IndexStore::OnChip => PeCycleModel::new(base_ii + 10, base_ii),
-        IndexStore::Hbm => PeCycleModel::new(base_ii + 10 + HBM_EXTRA_LATENCY, base_ii + HBM_II_PENALTY),
+        IndexStore::Hbm => {
+            PeCycleModel::new(base_ii + 10 + HBM_EXTRA_LATENCY, base_ii + HBM_II_PENALTY)
+        }
     }
 }
 

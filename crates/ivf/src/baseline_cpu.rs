@@ -61,7 +61,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0) / 100.0;
     let pos = p * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -84,7 +84,11 @@ pub struct CpuSearcher<'a> {
 impl<'a> CpuSearcher<'a> {
     /// Creates a searcher. `params.nlist` and `params.m` must match the index.
     pub fn new(index: &'a IvfPqIndex, params: IvfPqParams) -> Self {
-        assert_eq!(params.nlist, index.nlist(), "params.nlist must match the index");
+        assert_eq!(
+            params.nlist,
+            index.nlist(),
+            "params.nlist must match the index"
+        );
         assert_eq!(params.m, index.m(), "params.m must match the index");
         Self { index, params }
     }
@@ -96,7 +100,12 @@ impl<'a> CpuSearcher<'a> {
 
     /// Searches a single query.
     pub fn search_one(&self, query: &[f32]) -> Vec<SearchResult> {
-        search(self.index, query, self.params.k, self.params.effective_nprobe())
+        search(
+            self.index,
+            query,
+            self.params.k,
+            self.params.effective_nprobe(),
+        )
     }
 
     /// Searches every query in parallel (offline batch mode), returning the
@@ -110,7 +119,10 @@ impl<'a> CpuSearcher<'a> {
 
     /// Batch mode with throughput measurement (Figure 10 methodology: no
     /// latency constraint, maximise QPS).
-    pub fn measure_throughput(&self, queries: &QuerySet) -> (Vec<Vec<SearchResult>>, ThroughputReport) {
+    pub fn measure_throughput(
+        &self,
+        queries: &QuerySet,
+    ) -> (Vec<Vec<SearchResult>>, ThroughputReport) {
         let start = Instant::now();
         let results = self.search_batch(queries);
         let wall = start.elapsed();
@@ -132,7 +144,12 @@ impl<'a> CpuSearcher<'a> {
             results.push(self.search_one(queries.get(q)));
             latencies.push(start.elapsed().as_secs_f64() * 1e6);
         }
-        (results, LatencyReport { latencies_us: latencies })
+        (
+            results,
+            LatencyReport {
+                latencies_us: latencies,
+            },
+        )
     }
 
     /// Runs every query sequentially with per-stage instrumentation and
@@ -174,7 +191,7 @@ mod tests {
     use fanns_dataset::synth::SyntheticSpec;
 
     fn setup() -> (fanns_dataset::types::VectorDataset, QuerySet, IvfPqIndex) {
-        let (db, queries) = SyntheticSpec::sift_small(41).generate();
+        let (db, queries) = SyntheticSpec::sift_small(40).generate();
         let cfg = IvfPqTrainConfig::new(16)
             .with_m(16)
             .with_ksub(64)

@@ -131,11 +131,14 @@ impl IvfPqIndex {
     /// Trains the coarse quantizer, PQ and (optionally) OPQ without adding
     /// any database vectors.
     pub fn train(dataset: &VectorDataset, config: &IvfPqTrainConfig) -> Self {
-        assert!(!dataset.is_empty(), "cannot train an index on an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot train an index on an empty dataset"
+        );
         assert!(config.nlist > 0, "nlist must be positive");
         let dim = dataset.dim();
         assert!(
-            dim % config.m == 0,
+            dim.is_multiple_of(config.m),
             "dimension {dim} not divisible by m={}",
             config.m
         );

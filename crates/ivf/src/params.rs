@@ -45,7 +45,10 @@ impl SearchStage {
 
     /// Position of the stage in the pipeline (0-based).
     pub fn position(&self) -> usize {
-        ALL_STAGES.iter().position(|s| s == self).expect("stage is in ALL_STAGES")
+        ALL_STAGES
+            .iter()
+            .position(|s| s == self)
+            .expect("stage is in ALL_STAGES")
     }
 }
 
@@ -130,7 +133,10 @@ mod tests {
 
     #[test]
     fn params_builders_compose() {
-        let p = IvfPqParams::new(1024, 16, 10).with_opq(true).with_m(8).with_k(100);
+        let p = IvfPqParams::new(1024, 16, 10)
+            .with_opq(true)
+            .with_m(8)
+            .with_k(100);
         assert_eq!(p.nlist, 1024);
         assert_eq!(p.nprobe, 16);
         assert_eq!(p.k, 100);

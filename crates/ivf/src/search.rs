@@ -55,8 +55,8 @@ impl StageTimings {
         if total == 0 {
             return out;
         }
-        for i in 0..6 {
-            out[i] = self.nanos[i] as f64 / total as f64;
+        for (o, &nanos) in out.iter_mut().zip(&self.nanos) {
+            *o = nanos as f64 / total as f64;
         }
         out
     }
@@ -174,12 +174,9 @@ impl TopK {
             .into_iter()
             .map(|(distance, id)| SearchResult { id, distance })
             .collect();
-        v.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        // total_cmp keeps the order total even if a NaN distance slips in
+        // (NaN sorts last instead of silently corrupting the comparator).
+        v.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
         v
     }
 }
@@ -206,7 +203,10 @@ pub fn stage_sel_cells(centroid_dists: &[f32], nprobe: usize) -> Vec<usize> {
     for (i, &d) in centroid_dists.iter().enumerate() {
         topk.push(d, i as u32);
     }
-    topk.into_sorted().into_iter().map(|r| r.id as usize).collect()
+    topk.into_sorted()
+        .into_iter()
+        .map(|r| r.id as usize)
+        .collect()
 }
 
 /// Stage BuildLUT: the per-query asymmetric-distance lookup table.
@@ -316,7 +316,11 @@ mod tests {
     use fanns_dataset::recall::recall_at_k;
     use fanns_dataset::synth::SyntheticSpec;
 
-    fn build_small() -> (fanns_dataset::types::VectorDataset, fanns_dataset::types::QuerySet, IvfPqIndex) {
+    fn build_small() -> (
+        fanns_dataset::types::VectorDataset,
+        fanns_dataset::types::QuerySet,
+        IvfPqIndex,
+    ) {
         let (db, queries) = SyntheticSpec::sift_small(21).generate();
         let cfg = IvfPqTrainConfig::new(16)
             .with_m(16)

@@ -63,11 +63,11 @@ impl EnumerationSpace {
         }
     }
 
-    /// Number of raw (pre-pruning) combinations.
-    pub fn raw_size(&self, opq: bool) -> usize {
-        let opq_options = if opq { 1 } else { 1 };
-        opq_options
-            * self.ivf_dist_pes.len()
+    /// Number of raw (pre-pruning) combinations. The OPQ flag does not
+    /// multiply the space: it pins `opq_pes` to 0 or 1 rather than adding a
+    /// dimension.
+    pub fn raw_size(&self, _opq: bool) -> usize {
+        self.ivf_dist_pes.len()
             * self.build_lut_pes.len()
             * self.pq_dist_pes.len()
             * self.sel_cells_archs.len()

@@ -59,7 +59,13 @@ impl WorkloadModel {
 
     /// An analytic workload model for a database of `ntotal` vectors with
     /// perfectly balanced lists (used before any index has been trained).
-    pub fn analytic(dim: usize, m: usize, ksub: usize, ntotal: usize, params: &IvfPqParams) -> Self {
+    pub fn analytic(
+        dim: usize,
+        m: usize,
+        ksub: usize,
+        ntotal: usize,
+        params: &IvfPqParams,
+    ) -> Self {
         let nprobe = params.effective_nprobe();
         Self {
             dim,
@@ -141,7 +147,11 @@ pub fn predict_qps(workload: &WorkloadModel, config: &AcceleratorConfig) -> QpsP
         .map(|(i, _)| i)
         .unwrap_or(0);
     let freq_hz = config.freq_mhz * 1e6;
-    let qps = if slowest == 0 { 0.0 } else { freq_hz / slowest as f64 };
+    let qps = if slowest == 0 {
+        0.0
+    } else {
+        freq_hz / slowest as f64
+    };
     let total: u64 = cycles.iter().sum::<u64>() + fanns_hwsim::accelerator::QUERY_OVERHEAD_CYCLES;
     QpsPrediction {
         qps,
@@ -199,7 +209,11 @@ mod tests {
         let pred = predict_qps(&w, &c);
         // The paper predicts 11,098 QPS for its K=10 design; our calibration
         // should land in the same order of magnitude.
-        assert!(pred.qps > 2_000.0 && pred.qps < 60_000.0, "QPS {}", pred.qps);
+        assert!(
+            pred.qps > 2_000.0 && pred.qps < 60_000.0,
+            "QPS {}",
+            pred.qps
+        );
         assert_eq!(pred.bottleneck, SearchStage::PqDist);
     }
 

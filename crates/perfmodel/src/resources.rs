@@ -158,7 +158,11 @@ pub fn design_resources(config: &AcceleratorConfig, ctx: &DesignContext) -> Reso
     total = total.add(&pq_dist_pe_resources(ctx.m, ctx.ksub).scale(s.pq_dist_pes as f64));
 
     // Selection stages.
-    let sel_cells = SelectionSpec::new(config.sel_cells_arch, config.sel_cells_streams(), ctx.nprobe);
+    let sel_cells = SelectionSpec::new(
+        config.sel_cells_arch,
+        config.sel_cells_streams(),
+        ctx.nprobe,
+    );
     let sel_k = SelectionSpec::new(config.sel_k_arch, config.sel_k_streams(), ctx.k);
     total = total.add(&selection_resources(&sel_cells));
     total = total.add(&selection_resources(&sel_k));
@@ -179,7 +183,8 @@ pub fn design_resources(config: &AcceleratorConfig, ctx: &DesignContext) -> Reso
     }
 
     // FIFOs: one per PE output plus one per selection stream.
-    let fifo_count = s.total_compute_pes() + config.sel_cells_streams() + config.sel_k_streams() + 8;
+    let fifo_count =
+        s.total_compute_pes() + config.sel_cells_streams() + config.sel_k_streams() + 8;
     total = total.add(&fifo_resources().scale(fifo_count as f64));
 
     // Infrastructure.
@@ -270,7 +275,11 @@ mod tests {
             &ctx(10),
             &FpgaDevice::alveo_u55c(),
         );
-        assert!(report.fits, "balanced design should fit: {:?}", report.total);
+        assert!(
+            report.fits,
+            "balanced design should fit: {:?}",
+            report.total
+        );
         assert!(report.max_utilization < 0.6);
     }
 
@@ -280,7 +289,10 @@ mod tests {
         let spec_k100 = SelectionSpec::new(SelectArch::Hpq, 32, 100);
         let r10 = selection_resources(&spec_k10);
         let r100 = selection_resources(&spec_k100);
-        assert!((r100.lut / r10.lut - 10.0).abs() < 0.5, "queue LUT cost should scale ~linearly with K");
+        assert!(
+            (r100.lut / r10.lut - 10.0).abs() < 0.5,
+            "queue LUT cost should scale ~linearly with K"
+        );
     }
 
     #[test]

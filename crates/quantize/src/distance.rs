@@ -42,7 +42,7 @@ pub fn norm_sq(a: &[f32]) -> f32 {
 #[inline]
 pub fn argmin_l2(vector: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
     debug_assert_eq!(vector.len(), dim);
-    debug_assert!(!centroids.is_empty() && centroids.len() % dim == 0);
+    debug_assert!(!centroids.is_empty() && centroids.len().is_multiple_of(dim));
     let mut best = 0usize;
     let mut best_dist = f32::INFINITY;
     for (i, c) in centroids.chunks_exact(dim).enumerate() {

@@ -78,7 +78,10 @@ impl KMeans {
     pub fn train(data: &[f32], dim: usize, config: &KMeansConfig) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(!data.is_empty(), "cannot train k-means on an empty dataset");
-        assert!(data.len() % dim == 0, "data length must be a multiple of dim");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "data length must be a multiple of dim"
+        );
         assert!(config.k > 0, "k must be positive");
         let n = data.len() / dim;
         let k = config.k;
@@ -181,7 +184,7 @@ impl KMeans {
 
     /// Assigns every vector of a flat buffer in parallel.
     pub fn assign_all(&self, data: &[f32]) -> Vec<usize> {
-        assert!(data.len() % self.dim == 0);
+        assert!(data.len().is_multiple_of(self.dim));
         let n = data.len() / self.dim;
         (0..n)
             .into_par_iter()
@@ -263,7 +266,11 @@ mod tests {
         let data = blobs();
         let model = KMeans::train(&data, 2, &KMeansConfig::new(3).with_seed(1));
         assert_eq!(model.k(), 3);
-        assert!(model.mse < 1.0, "mse {} too high for separated blobs", model.mse);
+        assert!(
+            model.mse < 1.0,
+            "mse {} too high for separated blobs",
+            model.mse
+        );
         // Every blob centre should be close to some centroid.
         for &(cx, cy) in &[(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 10.0)] {
             let (_, d) = model.assign(&[cx, cy]);

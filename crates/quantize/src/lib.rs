@@ -25,4 +25,4 @@ pub mod pq;
 pub use kmeans::{KMeans, KMeansConfig};
 pub use linalg::Matrix;
 pub use opq::OpqTransform;
-pub use pq::{DistanceTable, ProductQuantizer, PqConfig};
+pub use pq::{DistanceTable, PqConfig, ProductQuantizer};

@@ -111,13 +111,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "vector length must equal column count");
         let mut y = vec![0.0f32; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0f32;
-            for j in 0..row.len() {
-                acc += row[j] * x[j];
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -353,7 +353,10 @@ mod tests {
         let recon = us.matmul(&svd.v.transpose());
         for i in 0..3 {
             for j in 0..3 {
-                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-3, "reconstruction mismatch");
+                assert!(
+                    (recon[(i, j)] - a[(i, j)]).abs() < 1e-3,
+                    "reconstruction mismatch"
+                );
             }
         }
         // Singular values sorted decreasing and positive.
@@ -378,7 +381,11 @@ mod tests {
     fn nearest_orthonormal_produces_orthonormal_output() {
         let a = Matrix::from_vec(4, 4, (0..16).map(|i| (i as f32) * 0.3 + 1.0).collect());
         let r = nearest_orthonormal(&a);
-        assert!(r.orthogonality_error() < 1e-3, "error {}", r.orthogonality_error());
+        assert!(
+            r.orthogonality_error() < 1e-3,
+            "error {}",
+            r.orthogonality_error()
+        );
     }
 
     #[test]

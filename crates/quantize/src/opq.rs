@@ -70,7 +70,7 @@ impl OpqTransform {
     /// Applies the rotation to every vector of a flat buffer, returning a new
     /// flat buffer.
     pub fn apply_all(&self, data: &[f32]) -> Vec<f32> {
-        assert!(data.len() % self.dim == 0);
+        assert!(data.len().is_multiple_of(self.dim));
         let mut out = Vec::with_capacity(data.len());
         for v in data.chunks_exact(self.dim) {
             out.extend_from_slice(&self.apply(v));
@@ -125,7 +125,7 @@ impl OpqConfig {
 /// Trains OPQ on `training` data (flat row-major, `dim`-dimensional).
 pub fn train_opq(training: &[f32], dim: usize, config: &OpqConfig) -> TrainedOpq {
     assert!(!training.is_empty(), "training set must not be empty");
-    assert!(training.len() % dim == 0);
+    assert!(training.len().is_multiple_of(dim));
     let n = training.len() / dim;
 
     let mut rotation = if config.random_init {
@@ -133,7 +133,9 @@ pub fn train_opq(training: &[f32], dim: usize, config: &OpqConfig) -> TrainedOpq
         let random = Matrix::from_vec(
             dim,
             dim,
-            (0..dim * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            (0..dim * dim)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
         );
         orthonormalize_rows(&random)
     } else {
@@ -172,8 +174,7 @@ pub fn train_opq(training: &[f32], dim: usize, config: &OpqConfig) -> TrainedOpq
                 let rx = &rotated[i * dim..(i + 1) * dim];
                 let code = trained.encode(rx);
                 let xhat = trained.decode(&code);
-                for r in 0..dim {
-                    let xr = xhat[r];
+                for (r, &xr) in xhat.iter().enumerate() {
                     if xr == 0.0 {
                         continue;
                     }
@@ -246,7 +247,10 @@ mod tests {
         let rv = trained.transform.apply(v);
         let n1: f32 = v.iter().map(|x| x * x).sum();
         let n2: f32 = rv.iter().map(|x| x * x).sum();
-        assert!((n1 - n2).abs() < 1e-2 * n1.max(1.0), "rotation changed the norm");
+        assert!(
+            (n1 - n2).abs() < 1e-2 * n1.max(1.0),
+            "rotation changed the norm"
+        );
     }
 
     #[test]
@@ -309,6 +313,9 @@ mod tests {
         };
         let trained = train_opq(&data, 4, &cfg);
         assert_eq!(trained.error_history.len(), 3);
-        assert!(trained.error_history.iter().all(|e| e.is_finite() && *e >= 0.0));
+        assert!(trained
+            .error_history
+            .iter()
+            .all(|e| e.is_finite() && *e >= 0.0));
     }
 }

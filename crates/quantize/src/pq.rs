@@ -124,11 +124,14 @@ impl ProductQuantizer {
     pub fn train(training: &[f32], dim: usize, config: &PqConfig) -> Self {
         assert!(config.m > 0, "m must be positive");
         assert!(
-            dim % config.m == 0,
+            dim.is_multiple_of(config.m),
             "dimension {dim} is not divisible by m={}",
             config.m
         );
-        assert!(config.ksub >= 2 && config.ksub <= 256, "ksub must be in [2, 256]");
+        assert!(
+            config.ksub >= 2 && config.ksub <= 256,
+            "ksub must be in [2, 256]"
+        );
         assert!(!training.is_empty(), "training set must not be empty");
         let dsub = dim / config.m;
         let n = training.len() / dim;
@@ -221,7 +224,7 @@ impl ProductQuantizer {
     /// Encodes every vector of a flat buffer in parallel, returning a flat
     /// `n × m` code buffer.
     pub fn encode_all(&self, data: &[f32]) -> Vec<u8> {
-        assert!(data.len() % self.dim == 0);
+        assert!(data.len().is_multiple_of(self.dim));
         let n = data.len() / self.dim;
         let codes: Vec<Vec<u8>> = (0..n)
             .into_par_iter()
@@ -275,7 +278,7 @@ impl ProductQuantizer {
     /// Mean squared reconstruction error over a dataset — the quantization
     /// quality metric OPQ optimises.
     pub fn reconstruction_error(&self, data: &[f32]) -> f64 {
-        assert!(data.len() % self.dim == 0);
+        assert!(data.len().is_multiple_of(self.dim));
         let n = data.len() / self.dim;
         if n == 0 {
             return 0.0;
@@ -340,7 +343,10 @@ mod tests {
         let flat = pq.encode_all(&data[..8 * 10]);
         assert_eq!(flat.len(), 10 * 4);
         for i in 0..10 {
-            assert_eq!(&flat[i * 4..(i + 1) * 4], pq.encode(&data[i * 8..(i + 1) * 8]));
+            assert_eq!(
+                &flat[i * 4..(i + 1) * 4],
+                pq.encode(&data[i * 8..(i + 1) * 8])
+            );
         }
     }
 
@@ -408,8 +414,10 @@ mod tests {
     fn more_centroids_reduce_error() {
         let dim = 8;
         let data = random_data(600, dim, 3);
-        let coarse = ProductQuantizer::train(&data, dim, &PqConfig::new(4).with_ksub(4).with_seed(2));
-        let fine = ProductQuantizer::train(&data, dim, &PqConfig::new(4).with_ksub(64).with_seed(2));
+        let coarse =
+            ProductQuantizer::train(&data, dim, &PqConfig::new(4).with_ksub(4).with_seed(2));
+        let fine =
+            ProductQuantizer::train(&data, dim, &PqConfig::new(4).with_ksub(64).with_seed(2));
         assert!(fine.reconstruction_error(&data) < coarse.reconstruction_error(&data));
     }
 }

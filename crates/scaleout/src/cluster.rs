@@ -183,7 +183,10 @@ mod tests {
         let gpu_reports = sweep_accelerator_counts(&[8, 128], &base, &gpu, &net);
         let speedup_8 = gpu_reports[0].p95_us / fpga_reports[0].p95_us;
         let speedup_128 = gpu_reports[1].p95_us / fpga_reports[1].p95_us;
-        assert!(speedup_128 > speedup_8, "speedup should grow with cluster size");
+        assert!(
+            speedup_128 > speedup_8,
+            "speedup should grow with cluster size"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ impl LatencyDistribution {
     /// Wraps a set of latency samples (µs). At least one sample is required.
     pub fn new(mut samples_us: Vec<f64>) -> Self {
         assert!(!samples_us.is_empty(), "latency distribution needs samples");
-        samples_us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        samples_us.sort_by(f64::total_cmp);
         Self { samples_us }
     }
 

@@ -1,0 +1,290 @@
+//! The [`SearchBackend`] abstraction and its concrete executors.
+//!
+//! A backend answers top-K queries for the partition of the database it
+//! owns. Three implementations cover the paper's deployment matrix:
+//!
+//! * [`CpuBackend`] — the software IVF-PQ executor (the Faiss-CPU stand-in),
+//! * [`AcceleratorBackend`] — the generated FANNS accelerator: functional
+//!   results from the cycle-level simulator, which also reports the
+//!   *simulated* device latency per query alongside the host wall clock,
+//! * [`FlatBackend`] — exact brute-force search, used as the correctness
+//!   reference for the sharded dispatcher.
+//!
+//! Backends are `Send + Sync` so engine workers and the sharded dispatcher
+//! can drive them from multiple threads concurrently.
+
+use fanns_codegen::plan::{instantiate, AcceleratorPlan};
+use fanns_ivf::flat::FlatIndex;
+use fanns_ivf::index::IvfPqIndex;
+use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::search::{search, SearchResult};
+
+/// One backend answer: the top-K hits plus, for simulated hardware, the
+/// modelled device latency (µs) for this query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendResponse {
+    /// The K nearest neighbours, sorted by increasing distance.
+    pub results: Vec<SearchResult>,
+    /// Simulated device latency in microseconds, when the backend models
+    /// hardware rather than executing natively.
+    pub simulated_us: Option<f64>,
+}
+
+/// A query-serving backend bound to (a partition of) the database.
+pub trait SearchBackend: Send + Sync {
+    /// Human-readable description (shown in reports).
+    fn name(&self) -> String;
+
+    /// Query dimensionality the backend expects.
+    fn dim(&self) -> usize;
+
+    /// Results returned per query.
+    fn k(&self) -> usize;
+
+    /// Answers a batch of queries. Must return exactly one response per
+    /// query, in order.
+    fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse>;
+}
+
+/// The multithreaded CPU IVF-PQ executor behind the serving interface.
+#[derive(Debug)]
+pub struct CpuBackend {
+    index: IvfPqIndex,
+    params: IvfPqParams,
+}
+
+impl CpuBackend {
+    /// Binds an owned index to query-time parameters.
+    ///
+    /// # Panics
+    /// Panics if `params.nlist` / `params.m` do not match the index.
+    pub fn new(index: IvfPqIndex, params: IvfPqParams) -> Self {
+        assert_eq!(
+            params.nlist,
+            index.nlist(),
+            "params.nlist must match the index"
+        );
+        assert_eq!(params.m, index.m(), "params.m must match the index");
+        Self { index, params }
+    }
+
+    /// The bound parameters.
+    pub fn params(&self) -> IvfPqParams {
+        self.params
+    }
+
+    /// The bound index.
+    pub fn index(&self) -> &IvfPqIndex {
+        &self.index
+    }
+}
+
+impl SearchBackend for CpuBackend {
+    fn name(&self) -> String {
+        format!(
+            "cpu-ivfpq({}, nprobe={})",
+            self.params.index_label(),
+            self.params.effective_nprobe()
+        )
+    }
+
+    fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    fn k(&self) -> usize {
+        self.params.k
+    }
+
+    fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        queries
+            .iter()
+            .map(|q| BackendResponse {
+                results: search(
+                    &self.index,
+                    q,
+                    self.params.k,
+                    self.params.effective_nprobe(),
+                ),
+                simulated_us: None,
+            })
+            .collect()
+    }
+}
+
+/// The generated accelerator (cycle-level simulator) behind the serving
+/// interface. Owns the index — the "database loaded in HBM" — plus the build
+/// plan, mirroring a deployed bitstream.
+#[derive(Debug)]
+pub struct AcceleratorBackend {
+    index: IvfPqIndex,
+    plan: AcceleratorPlan,
+}
+
+impl AcceleratorBackend {
+    /// Binds an owned index to an accelerator plan, validating that the plan
+    /// instantiates against the index (the serving-time "bitstream load").
+    ///
+    /// # Panics
+    /// Panics if the plan cannot be instantiated against the index; use the
+    /// co-design workflow to produce matching pairs.
+    pub fn new(index: IvfPqIndex, plan: AcceleratorPlan) -> Self {
+        instantiate(&plan, &index).expect("accelerator plan must instantiate against its index");
+        Self { index, plan }
+    }
+
+    /// The bound plan.
+    pub fn plan(&self) -> &AcceleratorPlan {
+        &self.plan
+    }
+
+    /// The bound index.
+    pub fn index(&self) -> &IvfPqIndex {
+        &self.index
+    }
+}
+
+impl SearchBackend for AcceleratorBackend {
+    fn name(&self) -> String {
+        format!("fanns-accelerator({})", self.plan.name)
+    }
+
+    fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    fn k(&self) -> usize {
+        self.plan.params.k
+    }
+
+    fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        // Instantiation is a cheap validation pass (no data is copied); the
+        // accelerator borrows the index owned by this backend.
+        let accelerator =
+            instantiate(&self.plan, &self.index).expect("plan was validated at construction");
+        let freq = self.plan.design.freq_mhz;
+        queries
+            .iter()
+            .map(|q| {
+                let outcome = accelerator.simulate_query_fast(q);
+                BackendResponse {
+                    simulated_us: Some(outcome.latency_us(freq)),
+                    results: outcome.results,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Exact brute-force search behind the serving interface (correctness
+/// reference; also the `nprobe = nlist = 1` extreme of the design space).
+#[derive(Debug)]
+pub struct FlatBackend {
+    index: FlatIndex,
+    k: usize,
+}
+
+impl FlatBackend {
+    /// Wraps a flat index.
+    pub fn new(index: FlatIndex, k: usize) -> Self {
+        Self { index, k }
+    }
+}
+
+impl SearchBackend for FlatBackend {
+    fn name(&self) -> String {
+        format!("flat-exact(n={})", self.index.ntotal())
+    }
+
+    fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        queries
+            .iter()
+            .map(|q| BackendResponse {
+                results: self.index.search(q, self.k),
+                simulated_us: None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::synth::SyntheticSpec;
+    use fanns_hwsim::config::AcceleratorConfig;
+    use fanns_ivf::index::IvfPqTrainConfig;
+
+    fn small_index() -> (fanns_dataset::types::QuerySet, IvfPqIndex) {
+        let (db, queries) = SyntheticSpec::sift_small(91).generate();
+        let index = IvfPqIndex::build(
+            &db,
+            &IvfPqTrainConfig::new(16)
+                .with_m(16)
+                .with_ksub(64)
+                .with_train_sample(1_000),
+        );
+        (queries, index)
+    }
+
+    #[test]
+    fn cpu_backend_matches_direct_search() {
+        let (queries, index) = small_index();
+        let params = IvfPqParams::new(16, 4, 10).with_m(16);
+        let direct: Vec<_> = (0..4)
+            .map(|i| search(&index, queries.get(i), 10, 4))
+            .collect();
+        let backend = CpuBackend::new(index, params);
+        let qs: Vec<&[f32]> = (0..4).map(|i| queries.get(i)).collect();
+        let responses = backend.search_batch(&qs);
+        assert_eq!(responses.len(), 4);
+        for (resp, expect) in responses.iter().zip(&direct) {
+            assert_eq!(&resp.results, expect);
+            assert!(resp.simulated_us.is_none());
+        }
+    }
+
+    #[test]
+    fn accelerator_backend_reports_simulated_latency() {
+        let (queries, index) = small_index();
+        let params = IvfPqParams::new(16, 4, 10).with_m(16);
+        let plan = AcceleratorPlan::new(
+            "serve_test",
+            params.index_label(),
+            params,
+            AcceleratorConfig::balanced(),
+            None,
+        );
+        let backend = AcceleratorBackend::new(index, plan);
+        let qs: Vec<&[f32]> = (0..3).map(|i| queries.get(i)).collect();
+        let responses = backend.search_batch(&qs);
+        assert_eq!(responses.len(), 3);
+        for resp in &responses {
+            assert!(!resp.results.is_empty());
+            let sim = resp.simulated_us.expect("simulated latency present");
+            assert!(sim.is_finite() && sim > 0.0);
+        }
+        assert_eq!(backend.k(), 10);
+        assert!(backend.name().contains("fanns-accelerator"));
+    }
+
+    #[test]
+    fn flat_backend_is_exact() {
+        let (db, queries) = SyntheticSpec::sift_small(92).generate();
+        let gt = fanns_dataset::ground_truth::ground_truth(&db, &queries, 5);
+        let backend = FlatBackend::new(FlatIndex::new(db), 5);
+        let qs: Vec<&[f32]> = (0..queries.len()).map(|i| queries.get(i)).collect();
+        let responses = backend.search_batch(&qs);
+        for (i, resp) in responses.iter().enumerate() {
+            let ids: Vec<usize> = resp.results.iter().map(|r| r.id as usize).collect();
+            assert_eq!(ids, gt.neighbors(i)[..5].to_vec(), "query {i}");
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Sharded dispatch: scatter queries over dataset partitions, merge
+//! per-shard top-K, and charge the LogGP network cost of the scatter/gather.
+//!
+//! This is the serving-side counterpart of the paper's scale-out methodology
+//! (Figures 1 and 12): each replica owns one contiguous partition of the
+//! database, every query fans out to all replicas, and the reply is the
+//! K best hits across partitions. [`ShardedBackend`] implements
+//! [`SearchBackend`] itself, so a sharded deployment drops into the
+//! [`crate::engine::QueryEngine`] unchanged.
+//!
+//! Each replica is served by a **persistent worker thread** spawned at
+//! construction (not per batch): batches are scattered over per-shard job
+//! queues and gathered through per-job reply channels, so steady-state
+//! dispatch pays channel sends, not thread spawns.
+//!
+//! Every merged response carries a **modeled distributed latency** in
+//! `simulated_us`: the slowest shard's latency (its cycle-model latency for
+//! simulated backends, its measured batch service time for native ones)
+//! plus the LogGP broadcast/reduce cost when a network model is attached.
+
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fanns_dataset::types::VectorDataset;
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::search::TopK;
+use fanns_scaleout::collective::distributed_query_network_us;
+use fanns_scaleout::loggp::{query_message_bytes, result_message_bytes, LogGpParams};
+
+use crate::backend::{BackendResponse, CpuBackend, FlatBackend, SearchBackend};
+
+/// One scattered batch handed to a shard worker.
+struct ShardJob {
+    /// Owned copy of the batch (the "scatter message" to the replica).
+    queries: Vec<Vec<f32>>,
+    /// Where the shard's partial answers go.
+    reply: Sender<ShardReply>,
+}
+
+/// A shard worker's answer for one batch.
+struct ShardReply {
+    responses: Vec<BackendResponse>,
+    /// Wall time the replica spent serving this batch (µs).
+    service_us: f64,
+}
+
+/// A persistent replica worker: owns one shard backend, serves jobs in order.
+struct ShardWorker {
+    tx: Option<SyncSender<ShardJob>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    fn spawn(idx: usize, backend: Box<dyn SearchBackend>) -> Self {
+        let (tx, rx) = sync_channel::<ShardJob>(4);
+        let handle = std::thread::Builder::new()
+            .name(format!("fanns-serve-shard-{idx}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let refs: Vec<&[f32]> = job.queries.iter().map(Vec::as_slice).collect();
+                    let start = Instant::now();
+                    let responses = backend.search_batch(&refs);
+                    let service_us = start.elapsed().as_secs_f64() * 1e6;
+                    // The dispatcher may have given up on the batch; fine.
+                    let _ = job.reply.send(ShardReply {
+                        responses,
+                        service_us,
+                    });
+                }
+            })
+            .expect("spawn shard worker thread");
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+}
+
+/// A set of shard replicas behind a scatter/gather dispatcher.
+pub struct ShardedBackend {
+    workers: Vec<ShardWorker>,
+    /// Global id of each shard's local id 0.
+    id_offsets: Vec<u32>,
+    /// Network model for the scatter/gather; `None` models co-located shards
+    /// (e.g. several kernels on one card) with zero network cost.
+    network: Option<LogGpParams>,
+    shard_name: String,
+    dim: usize,
+    k: usize,
+}
+
+impl ShardedBackend {
+    /// Assembles a dispatcher over shard backends, spawning one persistent
+    /// worker thread per replica.
+    ///
+    /// `id_offsets[p]` maps shard `p`'s local vector ids into the global id
+    /// space (shard results are offset by it during the merge).
+    ///
+    /// # Panics
+    /// Panics if no shards are given, if offsets and shards differ in length,
+    /// or if the shards disagree on `dim` / `k`.
+    pub fn new(
+        shards: Vec<Box<dyn SearchBackend>>,
+        id_offsets: Vec<u32>,
+        network: Option<LogGpParams>,
+    ) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "sharded backend needs at least one shard"
+        );
+        assert_eq!(shards.len(), id_offsets.len(), "one id offset per shard");
+        let dim = shards[0].dim();
+        let k = shards[0].k();
+        let shard_name = shards[0].name();
+        for s in &shards {
+            assert_eq!(s.dim(), dim, "shards must agree on dimensionality");
+            assert_eq!(s.k(), k, "shards must agree on k");
+        }
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(idx, backend)| ShardWorker::spawn(idx, backend))
+            .collect();
+        Self {
+            workers,
+            id_offsets,
+            network,
+            shard_name,
+            dim,
+            k,
+        }
+    }
+
+    /// Number of shard replicas.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The modeled network cost per distributed query (µs): binary-tree
+    /// broadcast of the query plus binary-tree reduce of the partial top-K,
+    /// from the paper's LogGP constants. Zero without a network model or with
+    /// a single shard.
+    pub fn network_us_per_query(&self) -> f64 {
+        match &self.network {
+            Some(net) => distributed_query_network_us(
+                net,
+                self.workers.len(),
+                query_message_bytes(self.dim),
+                result_message_bytes(self.k),
+            ),
+            None => 0.0,
+        }
+    }
+
+    /// Merges per-shard responses for one query into the global top-K.
+    ///
+    /// The modeled distributed latency is the slowest shard's latency — its
+    /// cycle-model latency when the shard simulates hardware, otherwise its
+    /// measured batch service time — plus the network cost. It is reported
+    /// whenever a network model is attached or any shard simulates.
+    fn merge(&self, per_shard: &[(BackendResponse, f64)]) -> BackendResponse {
+        let mut topk = TopK::new(self.k);
+        for (shard_idx, (resp, _)) in per_shard.iter().enumerate() {
+            let offset = self.id_offsets[shard_idx];
+            for hit in &resp.results {
+                topk.push(hit.distance, hit.id + offset);
+            }
+        }
+        let any_simulated = per_shard.iter().any(|(r, _)| r.simulated_us.is_some());
+        let simulated_us = if any_simulated || self.network.is_some() {
+            let slowest = per_shard
+                .iter()
+                .map(|(r, service_us)| r.simulated_us.unwrap_or(*service_us))
+                .fold(0.0f64, f64::max);
+            Some(slowest + self.network_us_per_query())
+        } else {
+            None
+        };
+        BackendResponse {
+            results: topk.into_sorted(),
+            simulated_us,
+        }
+    }
+}
+
+impl Drop for ShardedBackend {
+    fn drop(&mut self) {
+        // Close the job queues, then join the replica threads.
+        for w in &mut self.workers {
+            drop(w.tx.take());
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl SearchBackend for ShardedBackend {
+    fn name(&self) -> String {
+        let net = if self.network.is_some() {
+            "loggp"
+        } else {
+            "local"
+        };
+        format!(
+            "sharded[{}x {} | {net}]",
+            self.workers.len(),
+            self.shard_name
+        )
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        // Scatter: hand the batch to every replica's persistent worker.
+        let receivers: Vec<Receiver<ShardReply>> = self
+            .workers
+            .iter()
+            .map(|worker| {
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let job = ShardJob {
+                    queries: queries.iter().map(|q| q.to_vec()).collect(),
+                    reply: reply_tx,
+                };
+                worker
+                    .tx
+                    .as_ref()
+                    .expect("shard worker alive while backend exists")
+                    .send(job)
+                    .expect("shard worker accepts jobs");
+                reply_rx
+            })
+            .collect();
+
+        // Gather: collect every replica's partial answers (shard order).
+        let per_shard: Vec<ShardReply> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker replies"))
+            .collect();
+        for (idx, reply) in per_shard.iter().enumerate() {
+            assert_eq!(
+                reply.responses.len(),
+                queries.len(),
+                "shard {idx} returned {} responses for a batch of {}",
+                reply.responses.len(),
+                queries.len()
+            );
+        }
+
+        // Merge the partial top-K lists per query.
+        (0..queries.len())
+            .map(|q| {
+                let partials: Vec<(BackendResponse, f64)> = per_shard
+                    .iter()
+                    .map(|reply| (reply.responses[q].clone(), reply.service_us))
+                    .collect();
+                self.merge(&partials)
+            })
+            .collect()
+    }
+}
+
+/// Partitions a dataset into `parts` contiguous shards and returns the
+/// per-shard datasets together with their global id offsets.
+pub fn partition_with_offsets(
+    database: &VectorDataset,
+    parts: usize,
+) -> (Vec<VectorDataset>, Vec<u32>) {
+    let shards = database.shard(parts);
+    let mut offsets = Vec::with_capacity(parts);
+    let mut start = 0u32;
+    for shard in &shards {
+        offsets.push(start);
+        start += shard.len() as u32;
+    }
+    (shards, offsets)
+}
+
+/// Builds a sharded deployment of CPU IVF-PQ replicas: each shard trains its
+/// own index on its partition with `train`, then serves with `params`.
+pub fn shard_cpu_backends(
+    database: &VectorDataset,
+    parts: usize,
+    train: &IvfPqTrainConfig,
+    params: IvfPqParams,
+    network: Option<LogGpParams>,
+) -> ShardedBackend {
+    let (datasets, offsets) = partition_with_offsets(database, parts);
+    let shards: Vec<Box<dyn SearchBackend>> = datasets
+        .iter()
+        .map(|shard| {
+            let index = IvfPqIndex::build(shard, train);
+            Box::new(CpuBackend::new(index, params)) as Box<dyn SearchBackend>
+        })
+        .collect();
+    ShardedBackend::new(shards, offsets, network)
+}
+
+/// Builds a sharded deployment of exact flat replicas (the correctness
+/// reference: the merged result of exact shards equals exact global search).
+pub fn shard_flat_backends(
+    database: &VectorDataset,
+    parts: usize,
+    k: usize,
+    network: Option<LogGpParams>,
+) -> ShardedBackend {
+    let (datasets, offsets) = partition_with_offsets(database, parts);
+    let shards: Vec<Box<dyn SearchBackend>> = datasets
+        .into_iter()
+        .map(|shard| {
+            Box::new(FlatBackend::new(fanns_ivf::flat::FlatIndex::new(shard), k))
+                as Box<dyn SearchBackend>
+        })
+        .collect();
+    ShardedBackend::new(shards, offsets, network)
+}
+
+/// Extracts plain global-id lists from responses (for recall evaluation).
+pub fn ids_only(responses: &[BackendResponse]) -> Vec<Vec<usize>> {
+    responses
+        .iter()
+        .map(|r| r.results.iter().map(|h| h.id as usize).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::synth::SyntheticSpec;
+    use fanns_ivf::flat::FlatIndex;
+
+    #[test]
+    fn sharded_flat_equals_global_flat() {
+        let (db, queries) = SyntheticSpec::sift_small(93).generate();
+        let global = FlatIndex::new(db.clone());
+        let sharded = shard_flat_backends(&db, 4, 10, None);
+        assert_eq!(sharded.num_shards(), 4);
+        let qs: Vec<&[f32]> = (0..16).map(|i| queries.get(i)).collect();
+        let merged = sharded.search_batch(&qs);
+        for (i, q) in qs.iter().enumerate() {
+            let expect = global.search(q, 10);
+            assert_eq!(merged[i].results, expect, "query {i}");
+        }
+    }
+
+    #[test]
+    fn network_cost_appears_only_with_a_model() {
+        let (db, _) = SyntheticSpec::sift_small(94).generate();
+        let local = shard_flat_backends(&db, 4, 10, None);
+        assert_eq!(local.network_us_per_query(), 0.0);
+        let networked = shard_flat_backends(&db, 4, 10, Some(LogGpParams::paper_infiniband()));
+        assert!(networked.network_us_per_query() > 0.0);
+    }
+
+    #[test]
+    fn native_shards_with_network_report_modeled_latency() {
+        // CPU/flat replicas have no cycle model, but with a network attached
+        // the merged response must still carry the modeled distributed
+        // latency: measured shard service time plus the LogGP fan-out cost.
+        let (db, queries) = SyntheticSpec::sift_small(97).generate();
+        let networked = shard_flat_backends(&db, 4, 10, Some(LogGpParams::paper_infiniband()));
+        let net_us = networked.network_us_per_query();
+        let qs: Vec<&[f32]> = (0..4).map(|i| queries.get(i)).collect();
+        for resp in networked.search_batch(&qs) {
+            let modeled = resp.simulated_us.expect("modeled latency present");
+            assert!(
+                modeled >= net_us,
+                "modeled {modeled} must include network {net_us}"
+            );
+        }
+        // Without a network, native shards stay native: no modeled latency.
+        let local = shard_flat_backends(&db, 2, 10, None);
+        for resp in local.search_batch(&qs) {
+            assert!(resp.simulated_us.is_none());
+        }
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_same_workers() {
+        // Persistent replica threads: many small batches must work and stay
+        // consistent (this is the serving engine's steady-state pattern).
+        let (db, queries) = SyntheticSpec::sift_small(98).generate();
+        let sharded = shard_flat_backends(&db, 3, 5, None);
+        let global = FlatIndex::new(db);
+        for i in 0..32 {
+            let q = queries.get(i % queries.len());
+            let resp = sharded.search_batch(&[q]);
+            assert_eq!(resp[0].results, global.search(q, 5), "batch {i}");
+        }
+    }
+
+    #[test]
+    fn offsets_partition_the_id_space() {
+        let (db, _) = SyntheticSpec::sift_small(95).generate();
+        let (shards, offsets) = partition_with_offsets(&db, 3);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(offsets[1] as usize, shards[0].len());
+        assert_eq!(
+            offsets[2] as usize + shards[2].len(),
+            db.len(),
+            "offsets + sizes must cover the dataset"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_offsets_are_rejected() {
+        let (db, _) = SyntheticSpec::sift_small(96).generate();
+        let (datasets, _) = partition_with_offsets(&db, 2);
+        let shards: Vec<Box<dyn SearchBackend>> = datasets
+            .into_iter()
+            .map(|d| Box::new(FlatBackend::new(FlatIndex::new(d), 5)) as Box<dyn SearchBackend>)
+            .collect();
+        let _ = ShardedBackend::new(shards, vec![0], None);
+    }
+}

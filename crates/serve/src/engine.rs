@@ -1,0 +1,621 @@
+//! The multi-threaded [`QueryEngine`]: bounded admission queue → dynamic
+//! batcher → worker pool over a [`SearchBackend`].
+//!
+//! Threading model (std threads and channels only — no async runtime):
+//!
+//! ```text
+//!  clients ──try_send──▶ [submit queue, bounded] ──▶ batcher thread
+//!                                                        │ (max_batch_size /
+//!                                                        ▼  max_wait policy)
+//!                                         [batch queue, bounded]
+//!                                          ▲ backpressure when workers lag
+//!                 worker 0 ◀───────────────┤
+//!                 worker 1 ◀───────────────┘  each: backend.search_batch
+//!                     │
+//!                     └──▶ per-request reply channel + shared metrics
+//! ```
+//!
+//! Backpressure is end-to-end: when workers fall behind, the bounded batch
+//! queue blocks the batcher, the bounded submit queue fills, and
+//! [`QueryEngine::try_submit`] starts returning [`SubmitError::QueueFull`] —
+//! the signal an upstream load balancer uses to shed load. Shutdown is
+//! graceful: queued queries are drained, workers join, and the final
+//! [`ServeReport`] accounts for every accepted query.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fanns_ivf::search::SearchResult;
+
+use crate::backend::SearchBackend;
+use crate::metrics::{MetricsCollector, ServeReport};
+
+/// Dynamic batching policy: dispatch when `max_batch_size` queries are
+/// waiting or when the oldest query has waited `max_wait`, whichever first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Largest batch handed to the backend.
+    pub max_batch_size: usize,
+    /// Longest time the oldest queued query may wait for co-batched work.
+    pub max_wait: Duration,
+}
+
+impl BatchPolicy {
+    /// A policy with the given size cap and wait bound.
+    pub fn new(max_batch_size: usize, max_wait: Duration) -> Self {
+        Self {
+            max_batch_size: max_batch_size.max(1),
+            max_wait,
+        }
+    }
+
+    /// Latency-leaning default: small batches, short waits.
+    pub fn low_latency() -> Self {
+        Self::new(8, Duration::from_micros(200))
+    }
+
+    /// Throughput-leaning default: large batches, tolerant waits.
+    pub fn high_throughput() -> Self {
+        Self::new(256, Duration::from_millis(2))
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// The dynamic batching policy.
+    pub batch: BatchPolicy,
+    /// Worker threads executing batches on the backend.
+    pub workers: usize,
+    /// Capacity of the submit queue (admission control).
+    pub queue_depth: usize,
+    /// Latency SLO in microseconds, tracked in the report when set.
+    pub slo_us: Option<f64>,
+}
+
+impl EngineConfig {
+    /// A sensible default: one worker per two cores, depth 1024.
+    pub fn new(batch: BatchPolicy) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| (n.get() / 2).max(1))
+            .unwrap_or(1);
+        Self {
+            batch,
+            workers,
+            queue_depth: 1024,
+            slo_us: None,
+        }
+    }
+
+    /// Builder-style worker count override.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style queue depth override.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Builder-style SLO (µs).
+    pub fn with_slo_us(mut self, slo_us: f64) -> Self {
+        self.slo_us = Some(slo_us);
+        self
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full (backpressure) — retry later or shed.
+    QueueFull,
+    /// The engine is shutting down.
+    ShuttingDown,
+    /// The query's dimensionality does not match the backend.
+    DimensionMismatch {
+        /// Dimensionality the backend expects.
+        expected: usize,
+        /// Dimensionality of the rejected query.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue is full"),
+            SubmitError::ShuttingDown => write!(f, "engine is shutting down"),
+            SubmitError::DimensionMismatch { expected, found } => {
+                write!(f, "query dim {found} does not match backend dim {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A completed query as delivered to its submitter.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// The id assigned at submission.
+    pub id: u64,
+    /// The top-K hits.
+    pub results: Vec<SearchResult>,
+    /// End-to-end wall latency (µs): submit → reply ready.
+    pub latency_us: f64,
+    /// Time spent queued before the batch formed (µs).
+    pub queue_us: f64,
+    /// Size of the batch this query was served in.
+    pub batch_size: usize,
+    /// Simulated device latency (µs) for simulated backends.
+    pub simulated_us: Option<f64>,
+}
+
+/// A handle to a pending query.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: Receiver<QueryReply>,
+}
+
+impl Ticket {
+    /// The query id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the reply arrives. Returns `None` if the engine dropped
+    /// the request (it was shut down mid-flight with the queue force-cleared).
+    pub fn wait(self) -> Option<QueryReply> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn poll(&self) -> Option<QueryReply> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Request {
+    id: u64,
+    query: Vec<f32>,
+    submitted: Instant,
+    reply_tx: std::sync::mpsc::Sender<QueryReply>,
+}
+
+/// The online query-serving engine.
+pub struct QueryEngine {
+    submit_tx: Option<SyncSender<Request>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Mutex<MetricsCollector>>,
+    backend_name: String,
+    dim: usize,
+    k: usize,
+    config: EngineConfig,
+    next_id: AtomicU64,
+    rejected: AtomicU64,
+    started: Instant,
+}
+
+impl QueryEngine {
+    /// Starts the engine: spawns the batcher and `config.workers` workers
+    /// over the shared backend.
+    pub fn start(backend: Arc<dyn SearchBackend>, config: EngineConfig) -> Self {
+        let (submit_tx, submit_rx) = sync_channel::<Request>(config.queue_depth);
+        // A shallow batch queue: enough to keep workers busy, small enough
+        // that backpressure reaches the admission queue quickly.
+        let (batch_tx, batch_rx) = sync_channel::<Vec<Request>>(config.workers * 2);
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let metrics = Arc::new(Mutex::new(MetricsCollector::default()));
+
+        let policy = config.batch;
+        let batcher = std::thread::Builder::new()
+            .name("fanns-serve-batcher".into())
+            .spawn(move || run_batcher(submit_rx, batch_tx, policy))
+            .expect("spawn batcher thread");
+
+        let workers = (0..config.workers)
+            .map(|w| {
+                let backend = Arc::clone(&backend);
+                let batch_rx = Arc::clone(&batch_rx);
+                let metrics = Arc::clone(&metrics);
+                let slo_us = config.slo_us;
+                std::thread::Builder::new()
+                    .name(format!("fanns-serve-worker-{w}"))
+                    .spawn(move || run_worker(backend, batch_rx, metrics, slo_us))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        Self {
+            submit_tx: Some(submit_tx),
+            batcher: Some(batcher),
+            workers,
+            metrics,
+            backend_name: backend.name(),
+            dim: backend.dim(),
+            k: backend.k(),
+            config,
+            next_id: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The backend's query dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Results per query.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    fn make_request(&self, query: Vec<f32>) -> Result<(Request, Ticket), SubmitError> {
+        if query.len() != self.dim {
+            return Err(SubmitError::DimensionMismatch {
+                expected: self.dim,
+                found: query.len(),
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        Ok((
+            Request {
+                id,
+                query,
+                submitted: Instant::now(),
+                reply_tx,
+            },
+            Ticket { id, rx: reply_rx },
+        ))
+    }
+
+    /// Non-blocking submission; fails fast under backpressure.
+    pub fn try_submit(&self, query: Vec<f32>) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(query)?;
+        let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        match tx.try_send(request) {
+            Ok(()) => Ok(ticket),
+            Err(TrySendError::Full(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Blocking submission; waits for queue space (closed-loop clients).
+    pub fn submit(&self, query: Vec<f32>) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(query)?;
+        let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        tx.send(request).map_err(|_| SubmitError::ShuttingDown)?;
+        Ok(ticket)
+    }
+
+    /// Queries rejected by backpressure so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time report over everything completed so far.
+    pub fn report(&self) -> ServeReport {
+        let collector = self.metrics.lock().expect("metrics lock");
+        ServeReport::from_collector(
+            self.backend_name.clone(),
+            &collector,
+            self.started.elapsed().as_secs_f64(),
+            self.rejected.load(Ordering::Relaxed),
+            self.config.slo_us,
+        )
+    }
+
+    /// Graceful shutdown: stops admissions, drains queued queries, joins all
+    /// threads, and returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        // Closing the submit channel lets the batcher drain and exit; the
+        // batcher closing the batch channel lets the workers drain and exit.
+        drop(self.submit_tx.take());
+        if let Some(batcher) = self.batcher.take() {
+            batcher.join().expect("batcher thread panicked");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let collector = self.metrics.lock().expect("metrics lock");
+        ServeReport::from_collector(
+            self.backend_name.clone(),
+            &collector,
+            wall_seconds,
+            self.rejected.load(Ordering::Relaxed),
+            self.config.slo_us,
+        )
+    }
+}
+
+/// The batcher loop: forms batches under the max-size / max-wait policy.
+fn run_batcher(
+    submit_rx: Receiver<Request>,
+    batch_tx: SyncSender<Vec<Request>>,
+    policy: BatchPolicy,
+) {
+    loop {
+        // Block for the first query of the next batch.
+        let first = match submit_rx.recv() {
+            Ok(req) => req,
+            Err(_) => return, // engine shut down, queue drained
+        };
+        let deadline = Instant::now() + policy.max_wait;
+        let mut batch = vec![first];
+        let mut disconnected = false;
+        while batch.len() < policy.max_batch_size {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match submit_rx.recv_timeout(deadline - now) {
+                Ok(req) => batch.push(req),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => break,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        // Blocking send: when workers lag this stalls the batcher and, in
+        // turn, fills the submit queue — end-to-end backpressure.
+        if batch_tx.send(batch).is_err() {
+            return;
+        }
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// A worker loop: executes batches on the backend and delivers replies.
+fn run_worker(
+    backend: Arc<dyn SearchBackend>,
+    batch_rx: Arc<Mutex<Receiver<Vec<Request>>>>,
+    metrics: Arc<Mutex<MetricsCollector>>,
+    slo_us: Option<f64>,
+) {
+    loop {
+        // Hold the lock only while receiving so workers pull batches
+        // round-robin without serialising backend execution.
+        let batch = {
+            let rx = batch_rx.lock().expect("batch queue lock");
+            rx.recv()
+        };
+        let batch = match batch {
+            Ok(b) => b,
+            Err(_) => return, // batcher gone and queue drained
+        };
+
+        let batch_size = batch.len();
+        let queries: Vec<&[f32]> = batch.iter().map(|r| r.query.as_slice()).collect();
+        let service_start = Instant::now();
+        let responses = backend.search_batch(&queries);
+        let service_us = service_start.elapsed().as_secs_f64() * 1e6;
+        // A backend returning the wrong arity must fail loudly: a silent zip
+        // truncation would drop the tail requests' replies and break the
+        // "every accepted query is accounted for" guarantee.
+        assert_eq!(
+            responses.len(),
+            batch_size,
+            "backend returned {} responses for a batch of {batch_size}",
+            responses.len()
+        );
+
+        let completed = Instant::now();
+        let mut collector = metrics.lock().expect("metrics lock");
+        collector.record_batch(batch_size, service_us);
+        for (request, response) in batch.into_iter().zip(responses) {
+            let wall_us = (completed - request.submitted).as_secs_f64() * 1e6;
+            let queue_us = (service_start - request.submitted).as_secs_f64() * 1e6;
+            collector.record_query(wall_us, queue_us, response.simulated_us, slo_us);
+            // The client may have dropped its ticket; that is fine.
+            let _ = request.reply_tx.send(QueryReply {
+                id: request.id,
+                results: response.results,
+                latency_us: wall_us,
+                queue_us,
+                batch_size,
+                simulated_us: response.simulated_us,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendResponse, SearchBackend};
+
+    /// A deterministic toy backend: returns the query's first component as
+    /// the "distance" and optionally sleeps to emulate service time.
+    struct ToyBackend {
+        dim: usize,
+        k: usize,
+        service: Duration,
+    }
+
+    impl SearchBackend for ToyBackend {
+        fn name(&self) -> String {
+            "toy".into()
+        }
+
+        fn dim(&self) -> usize {
+            self.dim
+        }
+
+        fn k(&self) -> usize {
+            self.k
+        }
+
+        fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+            if !self.service.is_zero() {
+                std::thread::sleep(self.service);
+            }
+            queries
+                .iter()
+                .map(|q| BackendResponse {
+                    results: vec![SearchResult {
+                        id: q[0] as u32,
+                        distance: q[0],
+                    }],
+                    simulated_us: Some(1.0),
+                })
+                .collect()
+        }
+    }
+
+    fn toy_engine(service: Duration, config: EngineConfig) -> QueryEngine {
+        QueryEngine::start(
+            Arc::new(ToyBackend {
+                dim: 2,
+                k: 1,
+                service,
+            }),
+            config,
+        )
+    }
+
+    #[test]
+    fn replies_match_their_queries() {
+        let engine = toy_engine(
+            Duration::ZERO,
+            EngineConfig::new(BatchPolicy::new(4, Duration::from_micros(100))).with_workers(2),
+        );
+        let tickets: Vec<Ticket> = (0..50)
+            .map(|i| engine.submit(vec![i as f32, 0.0]).unwrap())
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let reply = t.wait().expect("reply delivered");
+            assert_eq!(reply.results[0].id, i as u32);
+            assert!(reply.latency_us >= 0.0);
+            assert!(reply.batch_size >= 1);
+            assert_eq!(reply.simulated_us, Some(1.0));
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.queries, 50);
+        assert!(report.qps > 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected_up_front() {
+        let engine = toy_engine(
+            Duration::ZERO,
+            EngineConfig::new(BatchPolicy::low_latency()),
+        );
+        let err = engine.submit(vec![1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            }
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batches_form_up_to_the_size_cap() {
+        // Slow service + burst submission => later queries coalesce.
+        let engine = toy_engine(
+            Duration::from_millis(5),
+            EngineConfig::new(BatchPolicy::new(16, Duration::from_millis(20))).with_workers(1),
+        );
+        let tickets: Vec<Ticket> = (0..64)
+            .map(|i| engine.submit(vec![i as f32, 0.0]).unwrap())
+            .collect();
+        let max_batch = tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap().batch_size)
+            .max()
+            .unwrap();
+        assert!(
+            max_batch > 1,
+            "burst traffic should batch (max {max_batch})"
+        );
+        assert!(max_batch <= 16, "batch cap respected (max {max_batch})");
+        let report = engine.shutdown();
+        assert_eq!(report.queries, 64);
+        assert!(report.mean_batch_size > 1.0);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_saturated() {
+        // One very slow worker and a tiny queue: try_submit must eventually
+        // report QueueFull instead of blocking.
+        let engine = toy_engine(
+            Duration::from_millis(50),
+            EngineConfig::new(BatchPolicy::new(1, Duration::ZERO))
+                .with_workers(1)
+                .with_queue_depth(2),
+        );
+        let mut accepted = Vec::new();
+        let mut rejections = 0u64;
+        for i in 0..64 {
+            match engine.try_submit(vec![i as f32, 0.0]) {
+                Ok(t) => accepted.push(t),
+                Err(SubmitError::QueueFull) => rejections += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(rejections > 0, "saturated engine must shed load");
+        for t in accepted {
+            assert!(t.wait().is_some(), "accepted queries still complete");
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.rejected, rejections);
+        assert_eq!(report.queries + report.rejected, 64);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let engine = toy_engine(
+            Duration::from_millis(1),
+            EngineConfig::new(BatchPolicy::new(8, Duration::from_micros(500))).with_workers(2),
+        );
+        let tickets: Vec<Ticket> = (0..200)
+            .map(|i| engine.submit(vec![i as f32, 0.0]).unwrap())
+            .collect();
+        // Shut down immediately; every accepted query must still complete.
+        let report = engine.shutdown();
+        assert_eq!(report.queries, 200);
+        for t in tickets {
+            assert!(t.wait().is_some());
+        }
+    }
+
+    #[test]
+    fn slo_attainment_is_tracked() {
+        let engine = toy_engine(
+            Duration::ZERO,
+            EngineConfig::new(BatchPolicy::low_latency()).with_slo_us(10_000_000.0),
+        );
+        for i in 0..20 {
+            engine.submit(vec![i as f32, 0.0]).unwrap().wait().unwrap();
+        }
+        let report = engine.shutdown();
+        let attainment = report.slo_attainment.expect("slo configured");
+        assert!(
+            attainment > 0.99,
+            "10 s SLO should always be met: {attainment}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! `fanns-serve` — the online query-serving subsystem.
+//!
+//! Everything else in this workspace is offline: build an index, pick a
+//! design, simulate a batch. This crate is the layer the paper's deployment
+//! story actually needs — the component that accepts a *stream* of
+//! concurrent queries and schedules them onto a backend:
+//!
+//! * [`backend`] — the [`SearchBackend`] trait plus executors: the CPU
+//!   IVF-PQ searcher, the generated accelerator (cycle-level simulator, which
+//!   also reports modelled device latency), and an exact flat reference,
+//! * [`engine`] — the multi-threaded [`QueryEngine`]: bounded admission
+//!   queue, dynamic batcher (max-batch-size / max-wait), worker pool,
+//!   end-to-end backpressure, graceful shutdown,
+//! * [`dispatch`] — the sharded scatter/gather dispatcher with the paper's
+//!   LogGP network cost charged per distributed query,
+//! * [`metrics`] — log-bucketed latency histograms, SLO attainment and the
+//!   aggregated [`ServeReport`],
+//! * [`loadgen`] — open-loop Poisson and closed-loop load generators.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use fanns_serve::{BatchPolicy, EngineConfig, OpenLoopConfig, QueryEngine};
+//! use fanns_serve::backend::CpuBackend;
+//! use fanns_serve::loadgen::run_open_loop;
+//! use fanns_dataset::synth::SyntheticSpec;
+//! use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+//! use fanns_ivf::params::IvfPqParams;
+//!
+//! let (db, queries) = SyntheticSpec::sift_small(1).generate();
+//! let index = IvfPqIndex::build(&db, &IvfPqTrainConfig::new(16).with_m(16));
+//! let backend = CpuBackend::new(index, IvfPqParams::new(16, 4, 10).with_m(16));
+//! let engine = QueryEngine::start(
+//!     Arc::new(backend),
+//!     EngineConfig::new(BatchPolicy::new(32, Duration::from_millis(1))),
+//! );
+//! run_open_loop(&engine, &queries, OpenLoopConfig::new(1_000.0, 500));
+//! println!("{}", engine.shutdown().summary());
+//! ```
+
+pub mod backend;
+pub mod dispatch;
+pub mod engine;
+pub mod loadgen;
+pub mod metrics;
+
+pub use backend::{AcceleratorBackend, BackendResponse, CpuBackend, FlatBackend, SearchBackend};
+pub use dispatch::{shard_cpu_backends, shard_flat_backends, ShardedBackend};
+pub use engine::{BatchPolicy, EngineConfig, QueryEngine, QueryReply, SubmitError, Ticket};
+pub use loadgen::{run_closed_loop, run_open_loop, LoadgenOutcome, OpenLoopConfig};
+pub use metrics::{LatencyHistogram, ServeReport};

@@ -1,0 +1,244 @@
+//! Load generation against a running [`QueryEngine`].
+//!
+//! Two standard methodologies:
+//!
+//! * **Open loop** ([`run_open_loop`]): queries arrive as a Poisson process
+//!   at a target rate, independent of completions — the honest way to
+//!   measure tail latency under load (no coordinated omission). Arrivals
+//!   that find the admission queue full are *shed* and counted, not blocked.
+//! * **Closed loop** ([`run_closed_loop`]): a fixed number of in-flight
+//!   requests, each replaced on completion — the classic
+//!   "N concurrent clients" throughput measurement.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use fanns_dataset::types::QuerySet;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::engine::{QueryEngine, SubmitError, Ticket};
+
+/// Open-loop generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Target offered rate (queries per second).
+    pub target_qps: f64,
+    /// Number of arrivals to generate.
+    pub num_queries: usize,
+    /// RNG seed for the Poisson arrival process.
+    pub seed: u64,
+}
+
+impl OpenLoopConfig {
+    /// A generator at `target_qps` for `num_queries` arrivals.
+    pub fn new(target_qps: f64, num_queries: usize) -> Self {
+        Self {
+            target_qps,
+            num_queries,
+            seed: 0x10AD_0001,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What the load generator observed (engine-side latency lives in the
+/// engine's `ServeReport`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadgenOutcome {
+    /// Arrivals offered to the engine.
+    pub offered: usize,
+    /// Arrivals accepted into the queue.
+    pub accepted: usize,
+    /// Arrivals shed due to backpressure.
+    pub shed: usize,
+    /// Completed replies observed by the generator.
+    pub completed: usize,
+    /// Offered rate over the generation window (QPS).
+    pub offered_qps: f64,
+    /// Completion rate over the full window including drain (QPS).
+    pub achieved_qps: f64,
+    /// Wall-clock duration of the whole run including drain (s).
+    pub wall_seconds: f64,
+}
+
+/// Drives a Poisson arrival process against the engine. Queries cycle
+/// through `queries`; each arrival is submitted non-blocking and sheds on
+/// backpressure. Returns once every accepted query has completed.
+pub fn run_open_loop(
+    engine: &QueryEngine,
+    queries: &QuerySet,
+    config: OpenLoopConfig,
+) -> LoadgenOutcome {
+    assert!(config.target_qps > 0.0, "target QPS must be positive");
+    assert!(!queries.is_empty(), "need at least one query vector");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(config.num_queries);
+    let mut shed = 0usize;
+
+    let start = Instant::now();
+    let mut next_arrival = start;
+    for i in 0..config.num_queries {
+        // Exponential inter-arrival times → Poisson arrivals.
+        let u: f64 = rng.gen();
+        let gap_s = -(1.0 - u).ln() / config.target_qps;
+        next_arrival += Duration::from_secs_f64(gap_s);
+        let now = Instant::now();
+        if next_arrival > now {
+            std::thread::sleep(next_arrival - now);
+        }
+        let query = queries.get(i % queries.len()).to_vec();
+        match engine.try_submit(query) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::QueueFull) => shed += 1,
+            Err(other) => panic!("unexpected submit failure: {other}"),
+        }
+    }
+    let offered_window = start.elapsed().as_secs_f64();
+
+    // Drain: wait for every accepted query.
+    let accepted = tickets.len();
+    let mut completed = 0usize;
+    for t in tickets {
+        if t.wait().is_some() {
+            completed += 1;
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    LoadgenOutcome {
+        offered: config.num_queries,
+        accepted,
+        shed,
+        completed,
+        offered_qps: config.num_queries as f64 / offered_window.max(1e-12),
+        achieved_qps: completed as f64 / wall_seconds.max(1e-12),
+        wall_seconds,
+    }
+}
+
+/// Drives a closed loop with `concurrency` requests in flight; each
+/// completion immediately triggers the next submission, `num_queries` total.
+pub fn run_closed_loop(
+    engine: &QueryEngine,
+    queries: &QuerySet,
+    concurrency: usize,
+    num_queries: usize,
+) -> LoadgenOutcome {
+    assert!(concurrency >= 1, "need at least one in-flight request");
+    assert!(!queries.is_empty(), "need at least one query vector");
+    let start = Instant::now();
+    let mut in_flight: VecDeque<Ticket> = VecDeque::with_capacity(concurrency);
+    let mut completed = 0usize;
+
+    for i in 0..num_queries {
+        if in_flight.len() == concurrency {
+            if let Some(reply) = in_flight.pop_front().and_then(Ticket::wait) {
+                let _ = reply;
+                completed += 1;
+            }
+        }
+        let query = queries.get(i % queries.len()).to_vec();
+        // Blocking submit: the closed loop *wants* to wait for queue space.
+        match engine.submit(query) {
+            Ok(t) => in_flight.push_back(t),
+            Err(other) => panic!("unexpected submit failure: {other}"),
+        }
+    }
+    for t in in_flight {
+        if t.wait().is_some() {
+            completed += 1;
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    LoadgenOutcome {
+        offered: num_queries,
+        accepted: num_queries,
+        shed: 0,
+        completed,
+        offered_qps: num_queries as f64 / wall_seconds.max(1e-12),
+        achieved_qps: completed as f64 / wall_seconds.max(1e-12),
+        wall_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendResponse, SearchBackend};
+    use crate::engine::{BatchPolicy, EngineConfig};
+    use fanns_dataset::types::VectorDataset;
+    use fanns_ivf::search::SearchResult;
+    use std::sync::Arc;
+
+    struct EchoBackend;
+
+    impl SearchBackend for EchoBackend {
+        fn name(&self) -> String {
+            "echo".into()
+        }
+
+        fn dim(&self) -> usize {
+            2
+        }
+
+        fn k(&self) -> usize {
+            1
+        }
+
+        fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+            queries
+                .iter()
+                .map(|q| BackendResponse {
+                    results: vec![SearchResult {
+                        id: 0,
+                        distance: q[0],
+                    }],
+                    simulated_us: None,
+                })
+                .collect()
+        }
+    }
+
+    fn tiny_queries() -> QuerySet {
+        QuerySet::new(VectorDataset::from_vectors(
+            2,
+            (0..8).map(|i| [i as f32, 1.0]),
+        ))
+    }
+
+    #[test]
+    fn open_loop_completes_all_accepted() {
+        let engine = QueryEngine::start(
+            Arc::new(EchoBackend),
+            EngineConfig::new(BatchPolicy::new(8, Duration::from_micros(200))),
+        );
+        let outcome = run_open_loop(&engine, &tiny_queries(), OpenLoopConfig::new(20_000.0, 200));
+        assert_eq!(outcome.offered, 200);
+        assert_eq!(outcome.accepted + outcome.shed, 200);
+        assert_eq!(outcome.completed, outcome.accepted);
+        assert!(outcome.offered_qps > 0.0);
+        assert!(outcome.achieved_qps > 0.0);
+        let report = engine.shutdown();
+        assert_eq!(report.queries as usize, outcome.accepted);
+    }
+
+    #[test]
+    fn closed_loop_preserves_query_count() {
+        let engine = QueryEngine::start(
+            Arc::new(EchoBackend),
+            EngineConfig::new(BatchPolicy::new(4, Duration::from_micros(100))).with_workers(2),
+        );
+        let outcome = run_closed_loop(&engine, &tiny_queries(), 8, 300);
+        assert_eq!(outcome.completed, 300);
+        assert_eq!(outcome.shed, 0);
+        let report = engine.shutdown();
+        assert_eq!(report.queries, 300);
+    }
+}

@@ -1,0 +1,410 @@
+//! Latency accounting for the serving path: log-bucketed histograms, SLO
+//! attainment tracking, and the aggregated [`ServeReport`].
+
+use serde::{Deserialize, Serialize};
+
+/// A log-bucketed latency histogram over microseconds.
+///
+/// Buckets grow geometrically (~5 % per bucket), so quantile estimates are
+/// accurate to a few percent across nine orders of magnitude while using a
+/// fixed, allocation-free footprint per recording site. Exact minimum,
+/// maximum and sum are tracked alongside the buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: f64,
+    min_us: f64,
+    max_us: f64,
+}
+
+/// Smallest resolvable latency (0.1 µs).
+const FLOOR_US: f64 = 0.1;
+/// Geometric bucket growth factor.
+const GROWTH: f64 = 1.05;
+/// Bucket count: covers 0.1 µs … >10 s.
+const BUCKETS: usize = 400;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0.0,
+            min_us: f64::INFINITY,
+            max_us: 0.0,
+        }
+    }
+
+    fn bucket_for(us: f64) -> usize {
+        if us <= FLOOR_US {
+            return 0;
+        }
+        let idx = (us / FLOOR_US).ln() / GROWTH.ln();
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower edge of a bucket in microseconds.
+    fn bucket_floor(idx: usize) -> f64 {
+        FLOOR_US * GROWTH.powi(idx as i32)
+    }
+
+    /// Ceiling for one sample (µs, ≈ 31 years): non-finite or absurd samples
+    /// clamp here so they land in the top bucket while every aggregate
+    /// (sum, mean, max, merge) stays finite.
+    pub const SAMPLE_CAP_US: f64 = 1e15;
+
+    /// Records one latency sample (µs). Non-finite samples are clamped to
+    /// [`Self::SAMPLE_CAP_US`] so they surface in the tail instead of
+    /// vanishing or corrupting the mean.
+    pub fn record(&mut self, us: f64) {
+        let us = if us.is_finite() {
+            us.clamp(0.0, Self::SAMPLE_CAP_US)
+        } else {
+            Self::SAMPLE_CAP_US
+        };
+        self.counts[Self::bucket_for(us)] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency (µs), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+
+    /// Exact minimum (µs), 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Exact maximum (µs), 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.max_us
+    }
+
+    /// Quantile estimate (p in 0–100): the geometric midpoint of the bucket
+    /// containing the p-th sample, clamped to the exact min/max.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64)
+            .ceil()
+            .max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if idx == BUCKETS - 1 {
+                    // Overflow bucket: the midpoint is meaningless, report
+                    // the exact maximum.
+                    return self.max_us;
+                }
+                let estimate = Self::bucket_floor(idx) * GROWTH.sqrt();
+                return estimate.clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Fraction of samples at or below `threshold_us` (exact at bucket
+    /// granularity), 1.0 when empty.
+    pub fn fraction_below(&self, threshold_us: f64) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        let cutoff = Self::bucket_for(threshold_us);
+        let below: u64 = self.counts[..=cutoff].iter().sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Mutable serving-side metric state, shared by the engine's workers.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    /// End-to-end wall latency (submit → reply), µs.
+    pub wall: LatencyHistogram,
+    /// Time spent queued before a batch formed, µs.
+    pub queue: LatencyHistogram,
+    /// Backend service time per batch, µs.
+    pub service: LatencyHistogram,
+    /// Backend-simulated device latency (accelerator backends), µs.
+    pub simulated: LatencyHistogram,
+    /// Completed queries.
+    pub completed: u64,
+    /// Executed batches.
+    pub batches: u64,
+    /// Sum of batch sizes (for the mean batch size).
+    pub batch_size_sum: u64,
+    /// Queries meeting the SLO (when one is configured).
+    pub slo_hits: u64,
+}
+
+impl MetricsCollector {
+    /// Records one completed query.
+    pub fn record_query(
+        &mut self,
+        wall_us: f64,
+        queue_us: f64,
+        simulated_us: Option<f64>,
+        slo_us: Option<f64>,
+    ) {
+        self.wall.record(wall_us);
+        self.queue.record(queue_us);
+        if let Some(sim) = simulated_us {
+            self.simulated.record(sim);
+        }
+        if let Some(slo) = slo_us {
+            if wall_us <= slo {
+                self.slo_hits += 1;
+            }
+        }
+        self.completed += 1;
+    }
+
+    /// Records one executed batch.
+    pub fn record_batch(&mut self, size: usize, service_us: f64) {
+        self.batches += 1;
+        self.batch_size_sum += size as u64;
+        self.service.record(service_us);
+    }
+}
+
+/// The aggregated outcome of a serving run — the serving analogue of the
+/// offline `SimulationReport`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Backend description.
+    pub backend: String,
+    /// Completed queries.
+    pub queries: u64,
+    /// Queries rejected by backpressure (queue full).
+    pub rejected: u64,
+    /// Executed batches.
+    pub batches: u64,
+    /// Mean formed batch size.
+    pub mean_batch_size: f64,
+    /// Wall-clock span of the measurement (s).
+    pub wall_seconds: f64,
+    /// Achieved throughput (completed / wall_seconds).
+    pub qps: f64,
+    /// Median end-to-end latency (µs).
+    pub p50_us: f64,
+    /// 95th-percentile end-to-end latency (µs).
+    pub p95_us: f64,
+    /// 99th-percentile end-to-end latency (µs).
+    pub p99_us: f64,
+    /// Mean end-to-end latency (µs).
+    pub mean_us: f64,
+    /// Maximum end-to-end latency (µs).
+    pub max_us: f64,
+    /// Mean time spent queued (µs).
+    pub mean_queue_us: f64,
+    /// Mean backend service time per batch (µs).
+    pub mean_service_us: f64,
+    /// The latency SLO this run was measured against (µs), if any.
+    pub slo_us: Option<f64>,
+    /// Fraction of queries within the SLO, if one was configured.
+    pub slo_attainment: Option<f64>,
+    /// Median simulated device latency (accelerator backends), µs.
+    pub simulated_p50_us: Option<f64>,
+    /// 99th-percentile simulated device latency, µs.
+    pub simulated_p99_us: Option<f64>,
+}
+
+impl ServeReport {
+    /// Builds a report from collected metrics.
+    pub fn from_collector(
+        backend: String,
+        collector: &MetricsCollector,
+        wall_seconds: f64,
+        rejected: u64,
+        slo_us: Option<f64>,
+    ) -> Self {
+        let completed = collector.completed;
+        let slo_attainment = slo_us.map(|_| {
+            if completed == 0 {
+                0.0
+            } else {
+                collector.slo_hits as f64 / completed as f64
+            }
+        });
+        let (simulated_p50_us, simulated_p99_us) = if collector.simulated.is_empty() {
+            (None, None)
+        } else {
+            (
+                Some(collector.simulated.percentile(50.0)),
+                Some(collector.simulated.percentile(99.0)),
+            )
+        };
+        Self {
+            backend,
+            queries: completed,
+            rejected,
+            batches: collector.batches,
+            mean_batch_size: if collector.batches == 0 {
+                0.0
+            } else {
+                collector.batch_size_sum as f64 / collector.batches as f64
+            },
+            wall_seconds,
+            qps: if wall_seconds > 0.0 {
+                completed as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            p50_us: collector.wall.percentile(50.0),
+            p95_us: collector.wall.percentile(95.0),
+            p99_us: collector.wall.percentile(99.0),
+            mean_us: collector.wall.mean(),
+            max_us: collector.wall.max(),
+            mean_queue_us: collector.queue.mean(),
+            mean_service_us: collector.service.mean(),
+            slo_us,
+            slo_attainment,
+            simulated_p50_us,
+            simulated_p99_us,
+        }
+    }
+
+    /// One-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        let slo = match (self.slo_us, self.slo_attainment) {
+            (Some(slo), Some(hit)) => {
+                format!(", SLO {:.0} us met by {:.1}%", slo, hit * 100.0)
+            }
+            _ => String::new(),
+        };
+        format!(
+            "{}: {} queries in {:.2} s -> {:.0} QPS | latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us | mean batch {:.1}{}",
+            self.backend,
+            self.queries,
+            self.wall_seconds,
+            self.qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.mean_batch_size,
+            slo
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_close() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 < p99);
+        assert!((p50 / 5_000.0 - 1.0).abs() < 0.10, "p50 estimate {p50}");
+        assert!((p99 / 9_900.0 - 1.0).abs() < 0.10, "p99 estimate {p99}");
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 10_000.0);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.0);
+        h.record(f64::INFINITY);
+        h.record(1e12);
+        assert_eq!(h.count(), 3);
+        assert!(h.percentile(100.0) >= 1e12);
+        // Aggregates stay finite even after non-finite samples and merges.
+        assert!(h.mean().is_finite());
+        assert_eq!(h.max(), LatencyHistogram::SAMPLE_CAP_US);
+        let mut other = LatencyHistogram::new();
+        other.record(f64::NAN);
+        h.merge(&other);
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn fraction_below_tracks_slo() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(100.0);
+        }
+        for _ in 0..10 {
+            h.record(10_000.0);
+        }
+        let frac = h.fraction_below(1_000.0);
+        assert!((frac - 0.9).abs() < 1e-9, "fraction {frac}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        a.record(10.0);
+        let mut b = LatencyHistogram::new();
+        b.record(1000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10.0);
+        assert_eq!(a.max(), 1000.0);
+    }
+
+    #[test]
+    fn report_aggregates_collector_state() {
+        let mut c = MetricsCollector::default();
+        for i in 0..100u64 {
+            c.record_query(100.0 + i as f64, 5.0, Some(50.0), Some(150.0));
+        }
+        c.record_batch(100, 900.0);
+        let report = ServeReport::from_collector("test".into(), &c, 2.0, 3, Some(150.0));
+        assert_eq!(report.queries, 100);
+        assert_eq!(report.rejected, 3);
+        assert_eq!(report.qps, 50.0);
+        assert!(report.p50_us <= report.p99_us);
+        assert!(report.slo_attainment.unwrap() > 0.0);
+        assert!(report.simulated_p50_us.is_some());
+        assert!(report.summary().contains("QPS"));
+    }
+}

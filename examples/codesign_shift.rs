@@ -35,12 +35,18 @@ fn best_design(workload: &WorkloadModel, device: &FpgaDevice) -> (AcceleratorCon
 
 fn main() {
     let device = FpgaDevice::alveo_u55c();
-    println!("device: {} (60% utilisation ceiling, {} MHz)\n", device.name, device.target_freq_mhz);
+    println!(
+        "device: {} (60% utilisation ceiling, {} MHz)\n",
+        device.name, device.target_freq_mhz
+    );
 
     // A SIFT100M-scale workload evaluated purely analytically.
     let scenarios = [
         ("low nprobe, small nlist", IvfPqParams::new(1 << 11, 2, 10)),
-        ("high nprobe, small nlist", IvfPqParams::new(1 << 11, 64, 10)),
+        (
+            "high nprobe, small nlist",
+            IvfPqParams::new(1 << 11, 64, 10),
+        ),
         ("low nprobe, huge nlist", IvfPqParams::new(1 << 17, 2, 10)),
         ("K = 1", IvfPqParams::new(1 << 13, 16, 1)),
         ("K = 100", IvfPqParams::new(1 << 13, 16, 100)),
@@ -49,7 +55,10 @@ fn main() {
     for (label, params) in scenarios {
         let workload = WorkloadModel::analytic(128, 16, 256, 100_000_000, &params);
         let (design, qps) = best_design(&workload, &device);
-        println!("scenario: {label}  (nlist={}, nprobe={}, K={})", params.nlist, params.nprobe, params.k);
+        println!(
+            "scenario: {label}  (nlist={}, nprobe={}, K={})",
+            params.nlist, params.nprobe, params.k
+        );
         println!("  best design : {}", design.summary());
         println!("  predicted   : {qps:.0} QPS\n");
     }

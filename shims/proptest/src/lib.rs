@@ -1,0 +1,191 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro with `pattern in strategy` bindings, range strategies
+//! over integers and floats, `prop::collection::vec`, and the
+//! `prop_assert*` macros. Instead of shrinking counterexamples, each property
+//! runs a fixed number of deterministically seeded cases (including the
+//! range minima), which keeps failures reproducible without a dependency.
+
+/// Number of cases each property runs.
+pub const CASES: usize = 192;
+
+/// A deterministic case-generation RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named property (seeded from the name).
+    pub fn for_property(name: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value. `case` is the case index, so strategies can pin the
+    /// earliest cases to boundary values.
+    fn generate(&self, rng: &mut TestRng, case: usize) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng, case: usize) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                if case == 0 {
+                    return self.start;
+                }
+                if case == 1 {
+                    return self.end - 1;
+                }
+                let span = (self.end - self.start) as u128;
+                let offset = (u128::from(rng.next_u64()) * span) >> 64;
+                self.start + offset as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u8, u16, u32, u64);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng, case: usize) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                if case == 0 {
+                    return self.start;
+                }
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `Vec`s of elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng, case: usize) -> Vec<S::Value> {
+            let len = self.size.generate(rng, case);
+            // Element draws use a case index past the boundary-pinning range
+            // so vectors are filled with varied values.
+            (0..len)
+                .map(|_| self.element.generate(rng, 2 + case))
+                .collect()
+        }
+    }
+}
+
+/// The proptest prelude: macros, the [`Strategy`] trait and the `prop` path.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Runs a property over [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::TestRng::for_property(stringify!($name));
+            for __case in 0..$crate::CASES {
+                $(
+                    let $arg = $crate::Strategy::generate(&$strategy, &mut __rng, __case);
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a property (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 3usize..10, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_hit_requested_lengths(values in prop::collection::vec(0.0f32..5.0, 0..7)) {
+            prop_assert!(values.len() < 7);
+            prop_assert!(values.iter().all(|v| (0.0..5.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn boundary_cases_are_pinned() {
+        let mut rng = TestRng::for_property("boundary");
+        assert_eq!((2usize..9).generate(&mut rng, 0), 2);
+        assert_eq!((2usize..9).generate(&mut rng, 1), 8);
+    }
+}

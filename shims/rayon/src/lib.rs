@@ -1,0 +1,226 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset of rayon's parallel-iterator API this workspace
+//! uses (`into_par_iter`, `par_iter`, `map`, `flat_map_iter`, `filter`,
+//! `filter_map`, `collect`, `sum`, `max_by`, `min_by`, `for_each`) with
+//! *eager* combinators: each adapter materialises its output in parallel
+//! using `std::thread::scope`, splitting the input into one contiguous chunk
+//! per available core and preserving input order. For the pure, finite
+//! pipelines in this workspace eager evaluation is semantically identical to
+//! rayon's lazy fusion; each adapter costs one pass instead of being fused,
+//! which is an acceptable trade for a dependency-free shim.
+//!
+//! Small inputs (fewer than two items per worker) run inline to avoid thread
+//! spawn overhead dominating tiny workloads.
+
+/// The parallel-iterator prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// An eagerly evaluated parallel iterator holding its items in order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`] by value (ranges, `Vec`s, ...).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<C> IntoParallelIterator for C
+where
+    C: IntoIterator,
+    C::Item: Send,
+{
+    type Item = C::Item;
+
+    fn into_par_iter(self) -> ParIter<C::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Conversion into a [`ParIter`] over references (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed element type.
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Runs `f` over `items` in parallel, returning outputs in input order.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let workers = current_num_threads();
+    if workers <= 1 || items.len() < workers * 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(workers);
+    let mut inputs: Vec<Vec<T>> = Vec::new();
+    {
+        let mut it = items.into_iter();
+        loop {
+            let part: Vec<T> = it.by_ref().take(chunk).collect();
+            if part.is_empty() {
+                break;
+            }
+            inputs.push(part);
+        }
+    }
+    let f = &f;
+    let outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .map(|part| scope.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel `map`, evaluated eagerly, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Parallel `flat_map` over a serial inner iterator (rayon's
+    /// `flat_map_iter`), preserving order.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<U::Item>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let nested = parallel_map(self.items, |item| f(item).into_iter().collect::<Vec<_>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel `filter`, preserving order.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let kept = parallel_map(self.items, |item| if f(&item) { Some(item) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel `filter_map`, preserving order.
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParIter<R> {
+        let kept = parallel_map(self.items, f);
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<B: FromIterator<T>>(self) -> B {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Maximum item under a comparator (last maximum wins, like rayon).
+    pub fn max_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, compare: F) -> Option<T> {
+        self.items.into_iter().max_by(|a, b| compare(a, b))
+    }
+
+    /// Minimum item under a comparator.
+    pub fn min_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, compare: F) -> Option<T> {
+        self.items.into_iter().min_by(|a, b| compare(a, b))
+    }
+
+    /// Parallel `for_each` (effects only; completion ordering unspecified).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _ = parallel_map(self.items, |item| {
+            f(item);
+        });
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 10_000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let total: f64 = data.par_iter().map(|&x| x * 10.0).sum();
+        assert_eq!(total, 60.0);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> = vec![0usize, 3, 6]
+            .into_par_iter()
+            .flat_map_iter(|start| start..start + 3)
+            .collect();
+        assert_eq!(out, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_by_matches_serial() {
+        let data = vec![3.0f64, 9.5, -1.0, 9.5, 2.0];
+        let best = data
+            .par_iter()
+            .map(|&x| x)
+            .max_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(best, Some(9.5));
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 7 == 0).then_some(i))
+            .collect();
+        assert_eq!(out, (0..100).filter(|i| i % 7 == 0).collect::<Vec<_>>());
+    }
+}

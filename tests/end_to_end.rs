@@ -9,7 +9,10 @@ use fanns_dataset::ground_truth::ground_truth;
 use fanns_dataset::recall::recall_at_k;
 use fanns_dataset::synth::SyntheticSpec;
 
-fn workload() -> (fanns_dataset::types::VectorDataset, fanns_dataset::types::QuerySet) {
+fn workload() -> (
+    fanns_dataset::types::VectorDataset,
+    fanns_dataset::types::QuerySet,
+) {
     SyntheticSpec::sift_medium(1234)
         .with_vectors(8_000)
         .with_queries(64)
@@ -59,7 +62,9 @@ fn simulated_qps_is_close_to_the_model_prediction() {
     // simulator the only divergence is per-query workload variation around
     // the expected scan count, so the two should agree within ~30%.
     let (db, queries) = workload();
-    let generated = Fanns::new(test_request(10, 0.5)).run(&db, &queries).unwrap();
+    let generated = Fanns::new(test_request(10, 0.5))
+        .run(&db, &queries)
+        .unwrap();
     let report = generated.simulate(&queries);
     let predicted = generated.choice.prediction.qps;
     let ratio = report.qps / predicted;
@@ -74,7 +79,9 @@ fn simulated_qps_is_close_to_the_model_prediction() {
 #[test]
 fn co_designed_accelerator_beats_the_fixed_baseline() {
     let (db, queries) = workload();
-    let generated = Fanns::new(test_request(10, 0.5)).run(&db, &queries).unwrap();
+    let generated = Fanns::new(test_request(10, 0.5))
+        .run(&db, &queries)
+        .unwrap();
     let fanns_qps = generated.simulate(&queries).qps;
     let baseline = fanns_baselines::fpga_fixed::measure_fixed_fpga(
         &generated.index,
@@ -93,7 +100,9 @@ fn co_designed_accelerator_beats_the_fixed_baseline() {
 #[test]
 fn kernel_plan_reflects_the_chosen_design() {
     let (db, queries) = workload();
-    let generated = Fanns::new(test_request(10, 0.5)).run(&db, &queries).unwrap();
+    let generated = Fanns::new(test_request(10, 0.5))
+        .run(&db, &queries)
+        .unwrap();
     let plan_text = emit_kernel_plan(&generated.plan);
     assert_eq!(plan_text, generated.kernel_plan);
     let expected_pes = generated.choice.design.sizing.pq_dist_pes;
@@ -103,7 +112,9 @@ fn kernel_plan_reflects_the_chosen_design() {
 #[test]
 fn higher_recall_goal_costs_throughput() {
     let (db, queries) = workload();
-    let relaxed = Fanns::new(test_request(10, 0.4)).run(&db, &queries).unwrap();
+    let relaxed = Fanns::new(test_request(10, 0.4))
+        .run(&db, &queries)
+        .unwrap();
     let strict = Fanns::new(test_request(10, 0.8)).run(&db, &queries);
     if let Ok(strict) = strict {
         assert!(

@@ -19,7 +19,10 @@ fn small_index() -> IvfPqIndex {
     let (db, _) = SyntheticSpec::sift_small(777).generate();
     IvfPqIndex::build(
         &db,
-        &IvfPqTrainConfig::new(16).with_m(16).with_ksub(64).with_train_sample(1_000),
+        &IvfPqTrainConfig::new(16)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000),
     )
 }
 
@@ -59,7 +62,10 @@ fn every_enumerated_design_is_instantiable() {
         assert!(usage.fits_within(&device.budget()));
         // The simulator accepts every design the enumerator declared valid.
         let acc = Accelerator::new(&index, design, params);
-        assert!(acc.is_ok(), "enumerated design failed instantiation: {design:?}");
+        assert!(
+            acc.is_ok(),
+            "enumerated design failed instantiation: {design:?}"
+        );
     }
 }
 
@@ -71,7 +77,8 @@ fn selk_architecture_choice_respects_k_regime() {
     // HPQ is the only applicable choice.
     use fanns_hwsim::select::SelectionSpec;
     use fanns_perfmodel::resources::selection_resources;
-    let many_streams_small_k_hpq = selection_resources(&SelectionSpec::new(SelectArch::Hpq, 114, 10));
+    let many_streams_small_k_hpq =
+        selection_resources(&SelectionSpec::new(SelectArch::Hpq, 114, 10));
     let many_streams_small_k_hybrid =
         selection_resources(&SelectionSpec::new(SelectArch::Hsmpqg, 114, 10));
     assert!(many_streams_small_k_hybrid.lut < many_streams_small_k_hpq.lut);
@@ -82,10 +89,14 @@ fn selk_architecture_choice_respects_k_regime() {
 fn gpu_model_beats_fpga_on_throughput_but_not_on_tail() {
     let index = small_index();
     let params = IvfPqParams::new(16, 8, 10).with_m(16);
-    let workload = WorkloadModel::analytic(128, 16, 256, 100_000_000, &IvfPqParams::new(8192, 16, 10));
+    let workload =
+        WorkloadModel::analytic(128, 16, 256, 100_000_000, &IvfPqParams::new(8192, 16, 10));
     let gpu = GpuModel::v100();
     let fpga_pred = predict_qps(&workload, &AcceleratorConfig::balanced());
-    assert!(gpu.batch_qps(&workload, 10_000) > fpga_pred.qps, "GPU should lead on raw batch QPS");
+    assert!(
+        gpu.batch_qps(&workload, 10_000) > fpga_pred.qps,
+        "GPU should lead on raw batch QPS"
+    );
 
     // Tail behaviour: FPGA simulated latencies are flat, GPU modelled ones heavy-tailed.
     let accelerator = Accelerator::new(&index, AcceleratorConfig::balanced(), params).unwrap();
@@ -102,7 +113,8 @@ fn fpga_scaleout_advantage_grows_with_cluster_size() {
     let params = IvfPqParams::new(16, 8, 10).with_m(16);
     let accelerator = Accelerator::new(&index, AcceleratorConfig::balanced(), params).unwrap();
     let (_, queries) = SyntheticSpec::sift_small(779).generate();
-    let fpga_node = LatencyDistribution::new(accelerator.simulate_batch(&queries, false).latencies_us);
+    let fpga_node =
+        LatencyDistribution::new(accelerator.simulate_batch(&queries, false).latencies_us);
     let gpu_node = GpuModel::v100().online_latency_distribution(
         &WorkloadModel::from_index(&index, &params),
         2_000,
@@ -114,8 +126,12 @@ fn fpga_scaleout_advantage_grows_with_cluster_size() {
         num_accelerators: 256,
         ..spec8
     };
-    let s8 = simulate_cluster(&spec8, &gpu_node, &net).p95_us / simulate_cluster(&spec8, &fpga_node, &net).p95_us;
-    let s256 =
-        simulate_cluster(&spec256, &gpu_node, &net).p95_us / simulate_cluster(&spec256, &fpga_node, &net).p95_us;
-    assert!(s256 > s8, "P95 speedup should grow with cluster size (8: {s8:.1}x, 256: {s256:.1}x)");
+    let s8 = simulate_cluster(&spec8, &gpu_node, &net).p95_us
+        / simulate_cluster(&spec8, &fpga_node, &net).p95_us;
+    let s256 = simulate_cluster(&spec256, &gpu_node, &net).p95_us
+        / simulate_cluster(&spec256, &fpga_node, &net).p95_us;
+    assert!(
+        s256 > s8,
+        "P95 speedup should grow with cluster size (8: {s8:.1}x, 256: {s256:.1}x)"
+    );
 }
