@@ -1,0 +1,175 @@
+//! Replicated-serving sweep: replicas x injected-fault-rate x target-QPS
+//! over a CPU IVF-PQ backend behind a `ReplicaSet` and the deadline-aware
+//! `QueryEngine`, one JSON row per configuration.
+//!
+//! ```sh
+//! FANNS_SCALE=small cargo run --release --bin serve_replication
+//! ```
+//!
+//! The sweep measures what the paper's scale-out story (Figures 1 and 12)
+//! implies for deployments: with one replica, a faulty backend sinks goodput
+//! and inflates the tail; with R > 1, least-loaded routing and failover
+//! absorb faults at the cost of extra capacity. Each configuration injects
+//! deterministic faults (every N-th backend call errors) into every replica
+//! and drives an open-loop Poisson arrival process, so rows are comparable
+//! across the grid. Goodput (in-SLO QPS), shed/failed counts, failovers and
+//! per-replica utilization come from the final `ServeReport`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use fanns_bench::{print_header, sift_workload, Scale};
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::params::IvfPqParams;
+use fanns_serve::loadgen::{run_open_loop, OpenLoopConfig};
+use fanns_serve::{
+    BatchPolicy, CpuBackend, EngineConfig, FaultInjector, FaultMode, PickupOrder, QueryEngine,
+    ReplicaHealthConfig, ReplicaSet, SearchBackend,
+};
+
+/// One sweep point, printed as a JSON row.
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    backend: String,
+    replicas: usize,
+    /// Every N-th backend call fails (0 = no injected faults).
+    fault_every_nth: u64,
+    target_qps: f64,
+    offered_qps: f64,
+    /// Completed-query throughput.
+    qps: f64,
+    /// In-SLO throughput — the deployment-quality metric.
+    goodput_qps: f64,
+    slo_us: f64,
+    slo_attainment: Option<f64>,
+    p50_us: f64,
+    p99_us: f64,
+    /// Shed at submission (queue full).
+    rejected: u64,
+    /// Shed by deadline-aware admission.
+    shed: u64,
+    /// Failed on the backend (all replicas down for a batch).
+    failed: u64,
+    /// Batches rerouted to another replica after a failure.
+    failover_count: u64,
+    /// Faults the injectors actually fired across replicas.
+    injected_faults: u64,
+    /// Times any replica was quarantined.
+    quarantines: u64,
+    /// Mean per-replica busy fraction over the run.
+    mean_replica_utilization: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = sift_workload(scale);
+    print_header(
+        "serve_replication",
+        "replicated serving sweep: replicas x fault rate x offered load (open loop)",
+    );
+    println!(
+        "dataset: {} vectors x {} dims, {} distinct queries, scale {:?}",
+        workload.database.len(),
+        workload.database.dim(),
+        workload.queries.len(),
+        scale
+    );
+
+    let nlist = scale.default_nlist();
+    let params = IvfPqParams::new(nlist, 8, 10).with_m(16);
+    let train = IvfPqTrainConfig::new(nlist)
+        .with_m(16)
+        .with_ksub(64)
+        .with_train_sample(30_000)
+        .with_seed(7);
+    // One shared in-memory index: replica slots route to it, so the sweep
+    // isolates the scheduling behaviour from index-build variance.
+    let index = IvfPqIndex::build(&workload.database, &train);
+    let executor: Arc<dyn SearchBackend> = Arc::new(CpuBackend::new(index, params));
+
+    let replica_counts = [1usize, 2, 3];
+    let fault_nths = [0u64, 50, 10];
+    let target_qps_grid = [2_000.0f64, 8_000.0];
+    let slo_us = 5_000.0;
+    let num_queries = match scale {
+        Scale::Small => 2_000,
+        Scale::Medium => 8_000,
+        Scale::Large => 16_000,
+    };
+
+    for &replicas in &replica_counts {
+        for &fault_nth in &fault_nths {
+            for &target_qps in &target_qps_grid {
+                // Fresh injectors and replica set per run: fault counters,
+                // health state and stats all start clean.
+                let mut fault_handles = Vec::new();
+                let slots: Vec<Box<dyn SearchBackend>> = (0..replicas)
+                    .map(|_| {
+                        let shared = Box::new(Arc::clone(&executor)) as Box<dyn SearchBackend>;
+                        let (injector, handle) = if fault_nth > 0 {
+                            FaultInjector::with_mode(shared, FaultMode::ErrorEveryNth(fault_nth))
+                        } else {
+                            FaultInjector::new(shared)
+                        };
+                        fault_handles.push(handle);
+                        Box::new(injector) as Box<dyn SearchBackend>
+                    })
+                    .collect();
+                let set = ReplicaSet::new(slots, ReplicaHealthConfig::default(), None);
+                let stats = set.stats();
+                let backend_name = set.name();
+
+                let engine = QueryEngine::start(
+                    Arc::new(set),
+                    EngineConfig::new(
+                        BatchPolicy::new(32, Duration::from_micros(500))
+                            .with_pickup(PickupOrder::EarliestDeadlineFirst),
+                    )
+                    .with_workers(2)
+                    .with_queue_depth(4_096)
+                    .with_slo_us(slo_us)
+                    .with_deadline_shedding(),
+                );
+                let outcome = run_open_loop(
+                    &engine,
+                    &workload.queries,
+                    OpenLoopConfig::new(target_qps, num_queries),
+                );
+                let report = engine.shutdown().with_replica_stats(&[stats]);
+
+                let snapshots = &report.replicas;
+                let mean_util = if snapshots.is_empty() {
+                    0.0
+                } else {
+                    snapshots.iter().map(|r| r.utilization).sum::<f64>() / snapshots.len() as f64
+                };
+                let row = SweepRow {
+                    backend: backend_name.clone(),
+                    replicas,
+                    fault_every_nth: fault_nth,
+                    target_qps,
+                    offered_qps: outcome.offered_qps,
+                    qps: report.qps,
+                    goodput_qps: report.goodput_qps,
+                    slo_us,
+                    slo_attainment: report.slo_attainment,
+                    p50_us: report.p50_us,
+                    p99_us: report.p99_us,
+                    rejected: report.rejected,
+                    shed: report.shed,
+                    failed: report.failed,
+                    failover_count: report.failover_count,
+                    injected_faults: fault_handles.iter().map(|h| h.injected_faults()).sum(),
+                    quarantines: snapshots.iter().map(|r| r.quarantines).sum(),
+                    mean_replica_utilization: mean_util,
+                };
+                println!(
+                    "{}",
+                    serde_json::to_string(&row).expect("sweep row serialises")
+                );
+            }
+        }
+    }
+}

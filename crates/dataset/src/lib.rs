@@ -9,8 +9,8 @@
 //!   skewed cluster populations),
 //! * [`io`] — readers/writers for the standard `fvecs`/`ivecs`/`bvecs`
 //!   formats so real benchmark files can be dropped in when available,
-//! * [`ground_truth`] — an exact, parallel brute-force k-NN used to produce
-//!   recall ground truth,
+//! * [`ground_truth`](mod@ground_truth) — an exact, parallel brute-force
+//!   k-NN used to produce recall ground truth,
 //! * [`recall`] — the R@K metrics used throughout the paper's evaluation,
 //! * [`sampling`] — train/query splitting helpers.
 //!

@@ -12,8 +12,12 @@
 //!    the best ([`fanns_dse::optimizer`]),
 //! 4. "generates" the accelerator — a structural kernel plan plus a runnable
 //!    cycle-level simulator instance ([`fanns_codegen`]),
-//! 5. and optionally attaches a network stack and evaluates scale-out
-//!    deployments ([`fanns_scaleout`]).
+//! 5. optionally attaches a network stack and evaluates scale-out
+//!    deployments ([`fanns_scaleout`]),
+//! 6. and serves online traffic against the result ([`fanns_serve`]):
+//!    [`GeneratedAccelerator::into_backend`] drops the generated design
+//!    behind the dynamic-batching, replicated, deadline-aware
+//!    [`fanns_serve::QueryEngine`].
 //!
 //! The heavy lifting lives in the per-subsystem crates re-exported below;
 //! this crate provides the end-to-end [`framework::Fanns`] entry point that

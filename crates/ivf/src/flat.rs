@@ -2,9 +2,9 @@
 //!
 //! Used as the reference answer for recall evaluation and as the "no index"
 //! extreme of the algorithm parameter space. Unlike
-//! [`fanns_dataset::ground_truth`], which is a free function over a dataset,
-//! this wraps the database in the same `search`-shaped API as the IVF-PQ
-//! index so baselines can be swapped behind a common interface.
+//! [`fanns_dataset::ground_truth::ground_truth`], which is a free function
+//! over a dataset, this wraps the database in the same `search`-shaped API as
+//! the IVF-PQ index so baselines can be swapped behind a common interface.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};

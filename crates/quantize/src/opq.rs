@@ -1,6 +1,6 @@
 //! Optimized Product Quantization (OPQ).
 //!
-//! OPQ (Ge et al. 2013, cited as [22] in the paper) learns an orthonormal
+//! OPQ (Ge et al. 2013, cited as \[22\] in the paper) learns an orthonormal
 //! rotation `R` of the vector space before product quantization so that the
 //! PQ sub-spaces become independent and balanced, improving quantization
 //! quality at the cost of one query-time vector–matrix multiplication — the

@@ -38,6 +38,18 @@ pub fn distributed_query_network_us(
     broadcast_cost_us(params, n, query_bytes) + reduce_cost_us(params, n, result_bytes)
 }
 
+/// Network cost (µs) of routing one query to a single replica and returning
+/// its K results: one point-to-point hop each way (no tree, no merge).
+/// This is what a load balancer in front of a replica set pays, as opposed
+/// to the scatter/gather fan-out of [`distributed_query_network_us`].
+pub fn replica_route_network_us(
+    params: &LogGpParams,
+    query_bytes: usize,
+    result_bytes: usize,
+) -> f64 {
+    params.point_to_point_us(query_bytes) + params.point_to_point_us(result_bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +85,17 @@ mod tests {
         let c512 = distributed_query_network_us(&p, 512, q, r);
         let level = p.point_to_point_us(q) + p.point_to_point_us(r) + p.merge_us;
         assert!((c1024 - c512 - level).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_route_is_two_point_to_point_hops() {
+        let p = LogGpParams::paper_infiniband();
+        let q = query_message_bytes(128);
+        let r = result_message_bytes(10);
+        let route = replica_route_network_us(&p, q, r);
+        assert!((route - p.point_to_point_us(q) - p.point_to_point_us(r)).abs() < 1e-9);
+        // Routing to one replica is cheaper than an 8-way scatter/gather.
+        assert!(route < distributed_query_network_us(&p, 8, q, r));
     }
 
     #[test]

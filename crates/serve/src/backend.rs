@@ -30,6 +30,35 @@ pub struct BackendResponse {
     pub simulated_us: Option<f64>,
 }
 
+/// A backend-side failure: the replica could not serve the batch at all
+/// (crash, timeout, injected fault). Carries the failing backend's name so
+/// routing layers can attribute the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    /// Name of the backend that failed.
+    pub backend: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl BackendError {
+    /// A new error attributed to `backend`.
+    pub fn new(backend: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            backend: backend.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backend `{}` failed: {}", self.backend, self.message)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// A query-serving backend bound to (a partition of) the database.
 pub trait SearchBackend: Send + Sync {
     /// Human-readable description (shown in reports).
@@ -44,6 +73,42 @@ pub trait SearchBackend: Send + Sync {
     /// Answers a batch of queries. Must return exactly one response per
     /// query, in order.
     fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse>;
+
+    /// Fallible variant of [`SearchBackend::search_batch`]. In-process
+    /// executors never fail, so the default implementation simply delegates;
+    /// backends that model remote or faulty replicas (the
+    /// [`crate::fault::FaultInjector`] wrapper, a [`crate::replica::ReplicaSet`]
+    /// with every replica down) override it to surface [`BackendError`].
+    /// Routing layers and the engine's workers call this method so failures
+    /// propagate instead of panicking.
+    fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
+        Ok(self.search_batch(queries))
+    }
+}
+
+/// Shared backends are backends: lets R replicas route to one in-memory
+/// index (`Arc<CpuBackend>` cloned per replica slot) without duplicating the
+/// index, and lets wrappers like the fault injector own shared inners.
+impl<T: SearchBackend + ?Sized> SearchBackend for std::sync::Arc<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn k(&self) -> usize {
+        (**self).k()
+    }
+
+    fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        (**self).search_batch(queries)
+    }
+
+    fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
+        (**self).try_search_batch(queries)
+    }
 }
 
 /// The multithreaded CPU IVF-PQ executor behind the serving interface.

@@ -2,11 +2,14 @@
 //! per-shard top-K, and charge the LogGP network cost of the scatter/gather.
 //!
 //! This is the serving-side counterpart of the paper's scale-out methodology
-//! (Figures 1 and 12): each replica owns one contiguous partition of the
-//! database, every query fans out to all replicas, and the reply is the
+//! (Figures 1 and 12): each shard owns one contiguous partition of the
+//! database, every query fans out to all shards, and the reply is the
 //! K best hits across partitions. [`ShardedBackend`] implements
 //! [`SearchBackend`] itself, so a sharded deployment drops into the
-//! [`crate::engine::QueryEngine`] unchanged.
+//! [`crate::engine::QueryEngine`] unchanged — and because each shard is just
+//! a `Box<dyn SearchBackend>`, a shard can itself be a
+//! [`crate::replica::ReplicaSet`] of R replicas with least-loaded routing
+//! and failover (see [`shard_replicated_cpu_backends`]).
 //!
 //! Each replica is served by a **persistent worker thread** spawned at
 //! construction (not per batch): batches are scattered over per-shard job
@@ -29,7 +32,8 @@ use fanns_ivf::search::TopK;
 use fanns_scaleout::collective::distributed_query_network_us;
 use fanns_scaleout::loggp::{query_message_bytes, result_message_bytes, LogGpParams};
 
-use crate::backend::{BackendResponse, CpuBackend, FlatBackend, SearchBackend};
+use crate::backend::{BackendError, BackendResponse, CpuBackend, FlatBackend, SearchBackend};
+use crate::replica::{ReplicaHealthConfig, ReplicaSet, ReplicaSetStats};
 
 /// One scattered batch handed to a shard worker.
 struct ShardJob {
@@ -41,7 +45,9 @@ struct ShardJob {
 
 /// A shard worker's answer for one batch.
 struct ShardReply {
-    responses: Vec<BackendResponse>,
+    /// The shard's partial answers, or the failure that prevented them
+    /// (e.g. every replica of the shard down).
+    responses: Result<Vec<BackendResponse>, BackendError>,
     /// Wall time the replica spent serving this batch (µs).
     service_us: f64,
 }
@@ -61,7 +67,7 @@ impl ShardWorker {
                 while let Ok(job) = rx.recv() {
                     let refs: Vec<&[f32]> = job.queries.iter().map(Vec::as_slice).collect();
                     let start = Instant::now();
-                    let responses = backend.search_batch(&refs);
+                    let responses = backend.try_search_batch(&refs);
                     let service_us = start.elapsed().as_secs_f64() * 1e6;
                     // The dispatcher may have given up on the batch; fine.
                     let _ = job.reply.send(ShardReply {
@@ -221,7 +227,15 @@ impl SearchBackend for ShardedBackend {
         self.k
     }
 
+    /// Infallible path: panics if any shard fails the batch outright (use
+    /// [`SearchBackend::try_search_batch`] when shards can fail, e.g. when
+    /// they are replica sets under fault injection).
     fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        self.try_search_batch(queries)
+            .expect("a shard failed the batch")
+    }
+
+    fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
         // Scatter: hand the batch to every replica's persistent worker.
         let receivers: Vec<Receiver<ShardReply>> = self
             .workers
@@ -242,31 +256,40 @@ impl SearchBackend for ShardedBackend {
             })
             .collect();
 
-        // Gather: collect every replica's partial answers (shard order).
-        let per_shard: Vec<ShardReply> = receivers
-            .into_iter()
-            .map(|rx| rx.recv().expect("shard worker replies"))
-            .collect();
-        for (idx, reply) in per_shard.iter().enumerate() {
-            assert_eq!(
-                reply.responses.len(),
-                queries.len(),
-                "shard {idx} returned {} responses for a batch of {}",
-                reply.responses.len(),
-                queries.len()
-            );
+        // Gather: collect every replica's partial answers (shard order). A
+        // query's global top-K needs *every* partition, so one failed shard
+        // fails the batch — replication below the shard (a ReplicaSet per
+        // shard) is the layer that absorbs individual replica faults.
+        let mut per_shard: Vec<(Vec<BackendResponse>, f64)> =
+            Vec::with_capacity(self.workers.len());
+        for (idx, rx) in receivers.into_iter().enumerate() {
+            let reply = rx.recv().expect("shard worker replies");
+            let responses = reply
+                .responses
+                .map_err(|e| BackendError::new(self.name(), format!("shard {idx} failed: {e}")))?;
+            if responses.len() != queries.len() {
+                return Err(BackendError::new(
+                    self.name(),
+                    format!(
+                        "shard {idx} returned {} responses for a batch of {}",
+                        responses.len(),
+                        queries.len()
+                    ),
+                ));
+            }
+            per_shard.push((responses, reply.service_us));
         }
 
         // Merge the partial top-K lists per query.
-        (0..queries.len())
+        Ok((0..queries.len())
             .map(|q| {
                 let partials: Vec<(BackendResponse, f64)> = per_shard
                     .iter()
-                    .map(|reply| (reply.responses[q].clone(), reply.service_us))
+                    .map(|(responses, service_us)| (responses[q].clone(), *service_us))
                     .collect();
                 self.merge(&partials)
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -304,6 +327,41 @@ pub fn shard_cpu_backends(
         })
         .collect();
     ShardedBackend::new(shards, offsets, network)
+}
+
+/// Builds the full replicated + sharded deployment: the database is split
+/// into `parts` partitions, each partition trains one CPU IVF-PQ index, and
+/// each index is served by a [`ReplicaSet`] of `replicas` slots (sharing the
+/// in-memory index) with least-loaded routing and failover. Queries scatter
+/// over shards (paying the LogGP fan-out cost when `network` is set) and,
+/// within a shard, route to the least-loaded healthy replica.
+///
+/// Returns the dispatcher plus one live [`ReplicaSetStats`] handle per shard
+/// — keep them to fold failover counts and per-replica utilization into the
+/// final report via [`crate::metrics::ServeReport::with_replica_stats`].
+pub fn shard_replicated_cpu_backends(
+    database: &VectorDataset,
+    parts: usize,
+    replicas: usize,
+    train: &IvfPqTrainConfig,
+    params: IvfPqParams,
+    health: ReplicaHealthConfig,
+    network: Option<LogGpParams>,
+) -> (ShardedBackend, Vec<ReplicaSetStats>) {
+    let (datasets, offsets) = partition_with_offsets(database, parts);
+    let mut stats = Vec::with_capacity(parts);
+    let shards: Vec<Box<dyn SearchBackend>> = datasets
+        .iter()
+        .map(|shard| {
+            let index = IvfPqIndex::build(shard, train);
+            let executor: std::sync::Arc<dyn SearchBackend> =
+                std::sync::Arc::new(CpuBackend::new(index, params));
+            let set = ReplicaSet::replicate_shared(executor, replicas, health, network);
+            stats.push(set.stats());
+            Box::new(set) as Box<dyn SearchBackend>
+        })
+        .collect();
+    (ShardedBackend::new(shards, offsets, network), stats)
 }
 
 /// Builds a sharded deployment of exact flat replicas (the correctness
@@ -397,6 +455,37 @@ mod tests {
             let resp = sharded.search_batch(&[q]);
             assert_eq!(resp[0].results, global.search(q, 5), "batch {i}");
         }
+    }
+
+    #[test]
+    fn replicated_shards_match_unreplicated_results() {
+        // Replication must be invisible to correctness: the same partitions
+        // behind 1x and 3x replicas return identical merged top-K, and the
+        // stats handles stay live after the dispatcher takes ownership.
+        let (db, queries) = SyntheticSpec::sift_small(99).generate();
+        let train = fanns_ivf::index::IvfPqTrainConfig::new(8)
+            .with_m(8)
+            .with_ksub(32)
+            .with_train_sample(1_000);
+        let params = fanns_ivf::params::IvfPqParams::new(8, 4, 5).with_m(8);
+        let plain = shard_cpu_backends(&db, 2, &train, params, None);
+        let (replicated, stats) = shard_replicated_cpu_backends(
+            &db,
+            2,
+            3,
+            &train,
+            params,
+            ReplicaHealthConfig::default(),
+            None,
+        );
+        assert_eq!(stats.len(), 2, "one stats handle per shard");
+        assert_eq!(stats[0].num_replicas(), 3);
+        let qs: Vec<&[f32]> = (0..8).map(|i| queries.get(i)).collect();
+        assert_eq!(replicated.search_batch(&qs), plain.search_batch(&qs));
+        let served: u64 = stats.iter().map(|s| s.completed_queries()).sum();
+        // Every query fans out to both shards: 8 queries x 2 shards.
+        assert_eq!(served, 16);
+        assert_eq!(stats.iter().map(|s| s.failovers()).sum::<u64>(), 0);
     }
 
     #[test]

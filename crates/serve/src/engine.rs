@@ -21,9 +21,20 @@
 //! the signal an upstream load balancer uses to shed load. Shutdown is
 //! graceful: queued queries are drained, workers join, and the final
 //! [`ServeReport`] accounts for every accepted query.
+//!
+//! Admission is optionally **deadline-aware**: when an SLO is configured,
+//! every query carries an absolute deadline (`submitted + SLO`, or an
+//! explicit per-query budget via [`QueryEngine::submit_with_budget`]). With
+//! [`AdmissionPolicy::deadline_shedding`] enabled, the batcher sheds queries
+//! whose remaining budget is below the backend's modeled service time — an
+//! EWMA the workers maintain from observed batches — *before* wasting
+//! backend work on them, and the [`PickupOrder::EarliestDeadlineFirst`]
+//! policy serves the most urgent queries first. Shed queries are never
+//! silently dropped: their tickets resolve with [`QueryStatus::Shed`].
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,6 +44,20 @@ use fanns_ivf::search::SearchResult;
 use crate::backend::SearchBackend;
 use crate::metrics::{MetricsCollector, ServeReport};
 
+/// Order in which the batcher picks pending queries into a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PickupOrder {
+    /// Arrival order — fair, and optimal when every query has the same
+    /// deadline.
+    #[default]
+    Fifo,
+    /// Earliest absolute deadline first: under overload, queries that can
+    /// still meet their SLO are served before queries with more slack.
+    /// Queries without a deadline sort after all deadlined ones, preserving
+    /// arrival order among themselves.
+    EarliestDeadlineFirst,
+}
+
 /// Dynamic batching policy: dispatch when `max_batch_size` queries are
 /// waiting or when the oldest query has waited `max_wait`, whichever first.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,15 +66,24 @@ pub struct BatchPolicy {
     pub max_batch_size: usize,
     /// Longest time the oldest queued query may wait for co-batched work.
     pub max_wait: Duration,
+    /// How the batcher orders pending queries into batches.
+    pub pickup: PickupOrder,
 }
 
 impl BatchPolicy {
-    /// A policy with the given size cap and wait bound.
+    /// A FIFO policy with the given size cap and wait bound.
     pub fn new(max_batch_size: usize, max_wait: Duration) -> Self {
         Self {
             max_batch_size: max_batch_size.max(1),
             max_wait,
+            pickup: PickupOrder::Fifo,
         }
+    }
+
+    /// Builder-style pickup-order override.
+    pub fn with_pickup(mut self, pickup: PickupOrder) -> Self {
+        self.pickup = pickup;
+        self
     }
 
     /// Latency-leaning default: small batches, short waits.
@@ -63,6 +97,31 @@ impl BatchPolicy {
     }
 }
 
+/// Deadline-aware admission policy.
+///
+/// With shedding enabled, the batcher drops (with a resolved
+/// [`QueryStatus::Shed`] ticket) any pending query whose deadline has passed
+/// or whose remaining budget is below the modeled per-query service time, so
+/// backend capacity is spent only on queries that can still meet their SLO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Shed queries that can no longer meet their deadline.
+    pub deadline_shedding: bool,
+    /// Seed for the modeled per-query service time (µs) before the workers
+    /// have observed any batch; 0 means "shed only already-expired queries
+    /// until the estimate warms up".
+    pub initial_service_estimate_us: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self {
+            deadline_shedding: false,
+            initial_service_estimate_us: 0.0,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -72,12 +131,16 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Capacity of the submit queue (admission control).
     pub queue_depth: usize,
-    /// Latency SLO in microseconds, tracked in the report when set.
+    /// Latency SLO in microseconds; tracked in the report when set, and the
+    /// source of each query's absolute deadline.
     pub slo_us: Option<f64>,
+    /// Deadline-aware admission policy.
+    pub admission: AdmissionPolicy,
 }
 
 impl EngineConfig {
-    /// A sensible default: one worker per two cores, depth 1024.
+    /// A sensible default: one worker per two cores, depth 1024, FIFO
+    /// admission with no deadline shedding.
     pub fn new(batch: BatchPolicy) -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| (n.get() / 2).max(1))
@@ -87,6 +150,7 @@ impl EngineConfig {
             workers,
             queue_depth: 1024,
             slo_us: None,
+            admission: AdmissionPolicy::default(),
         }
     }
 
@@ -102,9 +166,23 @@ impl EngineConfig {
         self
     }
 
-    /// Builder-style SLO (µs).
+    /// Builder-style SLO (µs). Queries submitted without an explicit budget
+    /// get `submitted + SLO` as their absolute deadline.
     pub fn with_slo_us(mut self, slo_us: f64) -> Self {
         self.slo_us = Some(slo_us);
+        self
+    }
+
+    /// Builder-style switch for deadline shedding (see [`AdmissionPolicy`]).
+    pub fn with_deadline_shedding(mut self) -> Self {
+        self.admission.deadline_shedding = true;
+        self
+    }
+
+    /// Builder-style seed for the modeled per-query service time (µs) used
+    /// by deadline shedding before any batch has been observed.
+    pub fn with_service_estimate_us(mut self, estimate_us: f64) -> Self {
+        self.admission.initial_service_estimate_us = estimate_us.max(0.0);
         self
     }
 }
@@ -139,18 +217,35 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// A completed query as delivered to its submitter.
+/// How a query's lifetime ended. Every accepted query resolves its ticket
+/// with exactly one of these — nothing is silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The backend answered; `results` holds the top-K hits.
+    Completed,
+    /// Deadline-aware admission shed the query before execution because it
+    /// could no longer meet its deadline; `results` is empty.
+    Shed,
+    /// The backend failed the whole batch (e.g. every replica down);
+    /// `results` is empty.
+    Failed,
+}
+
+/// A finished query as delivered to its submitter.
 #[derive(Debug, Clone)]
 pub struct QueryReply {
     /// The id assigned at submission.
     pub id: u64,
-    /// The top-K hits.
+    /// How the query ended; `results` is only meaningful for
+    /// [`QueryStatus::Completed`].
+    pub status: QueryStatus,
+    /// The top-K hits (empty unless completed).
     pub results: Vec<SearchResult>,
     /// End-to-end wall latency (µs): submit → reply ready.
     pub latency_us: f64,
     /// Time spent queued before the batch formed (µs).
     pub queue_us: f64,
-    /// Size of the batch this query was served in.
+    /// Size of the batch this query was served in (0 when shed).
     pub batch_size: usize,
     /// Simulated device latency (µs) for simulated backends.
     pub simulated_us: Option<f64>,
@@ -185,15 +280,43 @@ struct Request {
     id: u64,
     query: Vec<f32>,
     submitted: Instant,
+    /// Absolute deadline (from the SLO or an explicit budget), when known.
+    deadline: Option<Instant>,
     reply_tx: std::sync::mpsc::Sender<QueryReply>,
 }
 
-/// The online query-serving engine.
+impl Request {
+    /// Resolves the ticket without backend results (shed / failed paths).
+    /// `queue_us` is the time the query spent waiting for a batch; `None`
+    /// means it never left the queue (shed), so queueing equals the wall
+    /// time.
+    fn resolve_empty(self, status: QueryStatus, batch_size: usize, queue_us: Option<f64>) {
+        let wall_us = self.submitted.elapsed().as_secs_f64() * 1e6;
+        // The client may have dropped its ticket; that is fine.
+        let _ = self.reply_tx.send(QueryReply {
+            id: self.id,
+            status,
+            results: Vec::new(),
+            latency_us: wall_us,
+            queue_us: queue_us.unwrap_or(wall_us),
+            batch_size,
+            simulated_us: None,
+        });
+    }
+}
+
+/// The workers' modeled per-query service time, read by the batcher's
+/// shedding decision.
+type ServiceEstimate = crate::metrics::AtomicEwmaUs;
+
+/// The online query-serving engine (see [`QueryEngine::start`] for a
+/// runnable submit → wait → shutdown example).
 pub struct QueryEngine {
     submit_tx: Option<SyncSender<Request>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<Mutex<MetricsCollector>>,
+    estimate: Arc<ServiceEstimate>,
     backend_name: String,
     dim: usize,
     k: usize,
@@ -206,6 +329,31 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Starts the engine: spawns the batcher and `config.workers` workers
     /// over the shared backend.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use std::time::Duration;
+    /// use fanns_serve::{BatchPolicy, EngineConfig, QueryEngine, QueryStatus};
+    /// use fanns_serve::backend::FlatBackend;
+    /// use fanns_dataset::types::VectorDataset;
+    /// use fanns_ivf::flat::FlatIndex;
+    ///
+    /// // A tiny exact backend: 32 2-d vectors, top-3 per query.
+    /// let db = VectorDataset::from_vectors(2, (0..32).map(|i| [i as f32, 0.0]));
+    /// let backend = FlatBackend::new(FlatIndex::new(db), 3);
+    ///
+    /// // Start -> submit -> wait -> shutdown.
+    /// let engine = QueryEngine::start(
+    ///     Arc::new(backend),
+    ///     EngineConfig::new(BatchPolicy::new(8, Duration::from_micros(200))),
+    /// );
+    /// let ticket = engine.submit(vec![5.2, 0.0]).expect("accepted");
+    /// let reply = ticket.wait().expect("reply delivered");
+    /// assert_eq!(reply.status, QueryStatus::Completed);
+    /// assert_eq!(reply.results[0].id, 5);
+    /// let report = engine.shutdown();
+    /// assert_eq!(report.queries, 1);
+    /// ```
     pub fn start(backend: Arc<dyn SearchBackend>, config: EngineConfig) -> Self {
         let (submit_tx, submit_rx) = sync_channel::<Request>(config.queue_depth);
         // A shallow batch queue: enough to keep workers busy, small enough
@@ -213,22 +361,42 @@ impl QueryEngine {
         let (batch_tx, batch_rx) = sync_channel::<Vec<Request>>(config.workers * 2);
         let batch_rx = Arc::new(Mutex::new(batch_rx));
         let metrics = Arc::new(Mutex::new(MetricsCollector::default()));
+        let estimate = Arc::new(ServiceEstimate::new(
+            config.admission.initial_service_estimate_us,
+        ));
 
         let policy = config.batch;
-        let batcher = std::thread::Builder::new()
-            .name("fanns-serve-batcher".into())
-            .spawn(move || run_batcher(submit_rx, batch_tx, policy))
-            .expect("spawn batcher thread");
+        let admission = config.admission;
+        let queue_depth = config.queue_depth;
+        let batcher = {
+            let estimate = Arc::clone(&estimate);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("fanns-serve-batcher".into())
+                .spawn(move || {
+                    run_batcher(
+                        submit_rx,
+                        batch_tx,
+                        policy,
+                        admission,
+                        queue_depth,
+                        estimate,
+                        metrics,
+                    )
+                })
+                .expect("spawn batcher thread")
+        };
 
         let workers = (0..config.workers)
             .map(|w| {
                 let backend = Arc::clone(&backend);
                 let batch_rx = Arc::clone(&batch_rx);
                 let metrics = Arc::clone(&metrics);
+                let estimate = Arc::clone(&estimate);
                 let slo_us = config.slo_us;
                 std::thread::Builder::new()
                     .name(format!("fanns-serve-worker-{w}"))
-                    .spawn(move || run_worker(backend, batch_rx, metrics, slo_us))
+                    .spawn(move || run_worker(backend, batch_rx, metrics, estimate, slo_us))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -238,6 +406,7 @@ impl QueryEngine {
             batcher: Some(batcher),
             workers,
             metrics,
+            estimate,
             backend_name: backend.name(),
             dim: backend.dim(),
             k: backend.k(),
@@ -263,7 +432,11 @@ impl QueryEngine {
         self.config
     }
 
-    fn make_request(&self, query: Vec<f32>) -> Result<(Request, Ticket), SubmitError> {
+    fn make_request(
+        &self,
+        query: Vec<f32>,
+        budget: Option<Duration>,
+    ) -> Result<(Request, Ticket), SubmitError> {
         if query.len() != self.dim {
             return Err(SubmitError::DimensionMismatch {
                 expected: self.dim,
@@ -272,20 +445,26 @@ impl QueryEngine {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let submitted = Instant::now();
+        // Explicit budget wins; otherwise the SLO sets the deadline.
+        let deadline = budget.map(|b| submitted + b).or_else(|| {
+            self.config
+                .slo_us
+                .map(|slo| submitted + Duration::from_secs_f64(slo / 1e6))
+        });
         Ok((
             Request {
                 id,
                 query,
-                submitted: Instant::now(),
+                submitted,
+                deadline,
                 reply_tx,
             },
             Ticket { id, rx: reply_rx },
         ))
     }
 
-    /// Non-blocking submission; fails fast under backpressure.
-    pub fn try_submit(&self, query: Vec<f32>) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(query)?;
+    fn push(&self, request: Request, ticket: Ticket) -> Result<Ticket, SubmitError> {
         let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
         match tx.try_send(request) {
             Ok(()) => Ok(ticket),
@@ -297,9 +476,40 @@ impl QueryEngine {
         }
     }
 
+    /// Non-blocking submission; fails fast under backpressure. The query's
+    /// deadline, if any, derives from the configured SLO.
+    pub fn try_submit(&self, query: Vec<f32>) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(query, None)?;
+        self.push(request, ticket)
+    }
+
+    /// Non-blocking submission with an explicit latency budget: the query's
+    /// absolute deadline is `now + budget`, overriding the SLO-derived one.
+    pub fn try_submit_with_budget(
+        &self,
+        query: Vec<f32>,
+        budget: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(query, Some(budget))?;
+        self.push(request, ticket)
+    }
+
     /// Blocking submission; waits for queue space (closed-loop clients).
     pub fn submit(&self, query: Vec<f32>) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(query)?;
+        let (request, ticket) = self.make_request(query, None)?;
+        let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        tx.send(request).map_err(|_| SubmitError::ShuttingDown)?;
+        Ok(ticket)
+    }
+
+    /// Blocking submission with an explicit latency budget (see
+    /// [`QueryEngine::try_submit_with_budget`]).
+    pub fn submit_with_budget(
+        &self,
+        query: Vec<f32>,
+        budget: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(query, Some(budget))?;
         let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
         tx.send(request).map_err(|_| SubmitError::ShuttingDown)?;
         Ok(ticket)
@@ -308,6 +518,12 @@ impl QueryEngine {
     /// Queries rejected by backpressure so far.
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The workers' current modeled per-query service time (µs) — the value
+    /// deadline shedding compares remaining budgets against.
+    pub fn service_estimate_us(&self) -> f64 {
+        self.estimate.get_us()
     }
 
     /// A point-in-time report over everything completed so far.
@@ -346,41 +562,125 @@ impl QueryEngine {
     }
 }
 
-/// The batcher loop: forms batches under the max-size / max-wait policy.
+/// The batcher loop: forms batches under the max-size / max-wait policy,
+/// sheds queries that can no longer meet their deadline, and picks batch
+/// members FIFO or earliest-deadline-first.
 fn run_batcher(
     submit_rx: Receiver<Request>,
     batch_tx: SyncSender<Vec<Request>>,
     policy: BatchPolicy,
+    admission: AdmissionPolicy,
+    queue_depth: usize,
+    estimate: Arc<ServiceEstimate>,
+    metrics: Arc<Mutex<MetricsCollector>>,
 ) {
-    loop {
-        // Block for the first query of the next batch.
-        let first = match submit_rx.recv() {
-            Ok(req) => req,
-            Err(_) => return, // engine shut down, queue drained
-        };
-        let deadline = Instant::now() + policy.max_wait;
-        let mut batch = vec![first];
-        let mut disconnected = false;
-        while batch.len() < policy.max_batch_size {
+    // Queries pulled from the channel but not yet dispatched (EDF pickup can
+    // leave lower-urgency queries behind for the next batch).
+    let mut pending: VecDeque<Request> = VecDeque::new();
+    // Deadline shedding and EDF only act on queries they can see, so those
+    // modes buffer up to one queue_depth here in addition to the channel —
+    // admission is then bounded by 2x queue_depth. Plain FIFO gains nothing
+    // from look-ahead, so it keeps the channel as the only queue and
+    // backpressure semantics identical to a max_batch-bounded batcher.
+    let look_ahead = if admission.deadline_shedding || policy.pickup != PickupOrder::Fifo {
+        queue_depth.max(policy.max_batch_size)
+    } else {
+        policy.max_batch_size
+    };
+    let mut open = true;
+    while open || !pending.is_empty() {
+        if pending.is_empty() {
+            // Block for the first query of the next batch.
+            match submit_rx.recv() {
+                Ok(req) => pending.push_back(req),
+                Err(_) => {
+                    open = false; // engine shut down, channel drained
+                    continue;
+                }
+            }
+        }
+        // Fill window: wait up to max_wait for co-batched work.
+        let window_end = Instant::now() + policy.max_wait;
+        while open && pending.len() < policy.max_batch_size {
             let now = Instant::now();
-            if now >= deadline {
+            if now >= window_end {
                 break;
             }
-            match submit_rx.recv_timeout(deadline - now) {
-                Ok(req) => batch.push(req),
-                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => break,
-                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
+            match submit_rx.recv_timeout(window_end - now) {
+                Ok(req) => pending.push_back(req),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    open = false;
                     break;
                 }
             }
         }
+        // Opportunistic drain (no waiting): pull already-queued work up to
+        // the look-ahead bound so shedding sees waiting queries and the
+        // pickup policy chooses among them, not just the first max_batch
+        // arrivals.
+        while open && pending.len() < look_ahead {
+            match submit_rx.try_recv() {
+                Ok(req) => pending.push_back(req),
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+
+        // Early shedding: a query whose remaining budget is below the
+        // modeled service time cannot meet its deadline — resolving it now
+        // costs nothing and frees backend capacity for queries that can.
+        if admission.deadline_shedding {
+            let est = Duration::from_secs_f64(estimate.get_us().max(0.0) / 1e6);
+            let now = Instant::now();
+            let mut kept = VecDeque::with_capacity(pending.len());
+            let mut shed = Vec::new();
+            for req in pending.drain(..) {
+                match req.deadline {
+                    Some(deadline) if now + est >= deadline => shed.push(req),
+                    _ => kept.push_back(req),
+                }
+            }
+            pending = kept;
+            if !shed.is_empty() {
+                let mut collector = metrics.lock().expect("metrics lock");
+                collector.record_shed(shed.len() as u64);
+                drop(collector);
+                for req in shed {
+                    req.resolve_empty(QueryStatus::Shed, 0, None);
+                }
+            }
+            if pending.is_empty() {
+                continue;
+            }
+        }
+
+        // Pickup: choose which pending queries form this batch.
+        let take = pending.len().min(policy.max_batch_size);
+        let batch: Vec<Request> = match policy.pickup {
+            PickupOrder::Fifo => pending.drain(..take).collect(),
+            PickupOrder::EarliestDeadlineFirst => {
+                let mut all: Vec<Request> = pending.drain(..).collect();
+                // Stable sort: no-deadline queries go last, keeping arrival
+                // order among themselves and among equal deadlines.
+                all.sort_by(|a, b| match (a.deadline, b.deadline) {
+                    (Some(x), Some(y)) => x.cmp(&y),
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, Some(_)) => std::cmp::Ordering::Greater,
+                    (None, None) => std::cmp::Ordering::Equal,
+                });
+                let rest = all.split_off(take);
+                pending.extend(rest);
+                all
+            }
+        };
+
         // Blocking send: when workers lag this stalls the batcher and, in
         // turn, fills the submit queue — end-to-end backpressure.
         if batch_tx.send(batch).is_err() {
-            return;
-        }
-        if disconnected {
             return;
         }
     }
@@ -391,6 +691,7 @@ fn run_worker(
     backend: Arc<dyn SearchBackend>,
     batch_rx: Arc<Mutex<Receiver<Vec<Request>>>>,
     metrics: Arc<Mutex<MetricsCollector>>,
+    estimate: Arc<ServiceEstimate>,
     slo_us: Option<f64>,
 ) {
     loop {
@@ -408,8 +709,25 @@ fn run_worker(
         let batch_size = batch.len();
         let queries: Vec<&[f32]> = batch.iter().map(|r| r.query.as_slice()).collect();
         let service_start = Instant::now();
-        let responses = backend.search_batch(&queries);
+        let outcome = backend.try_search_batch(&queries);
         let service_us = service_start.elapsed().as_secs_f64() * 1e6;
+
+        let responses = match outcome {
+            Ok(responses) => responses,
+            Err(_) => {
+                // The whole batch failed (e.g. every replica down). Resolve
+                // every ticket as Failed — accepted queries are never
+                // silently dropped — and keep serving later batches.
+                let mut collector = metrics.lock().expect("metrics lock");
+                collector.record_failed(batch_size as u64);
+                drop(collector);
+                for request in batch {
+                    let queue_us = (service_start - request.submitted).as_secs_f64() * 1e6;
+                    request.resolve_empty(QueryStatus::Failed, batch_size, Some(queue_us));
+                }
+                continue;
+            }
+        };
         // A backend returning the wrong arity must fail loudly: a silent zip
         // truncation would drop the tail requests' replies and break the
         // "every accepted query is accounted for" guarantee.
@@ -419,6 +737,7 @@ fn run_worker(
             "backend returned {} responses for a batch of {batch_size}",
             responses.len()
         );
+        estimate.observe_us(service_us / batch_size.max(1) as f64);
 
         let completed = Instant::now();
         let mut collector = metrics.lock().expect("metrics lock");
@@ -430,6 +749,7 @@ fn run_worker(
             // The client may have dropped its ticket; that is fine.
             let _ = request.reply_tx.send(QueryReply {
                 id: request.id,
+                status: QueryStatus::Completed,
                 results: response.results,
                 latency_us: wall_us,
                 queue_us,
@@ -586,6 +906,41 @@ mod tests {
     }
 
     #[test]
+    fn fifo_backpressure_is_bounded_without_shedding() {
+        // FIFO with no shedding must keep the submit channel as the only
+        // queue: the batcher may not hoard arrivals in its pending pool, so
+        // a saturated engine rejects even a slow trickle of submissions
+        // (a greedy unbounded drain would keep the channel empty and accept
+        // everything, unboundedly).
+        let engine = toy_engine(
+            Duration::from_millis(50),
+            EngineConfig::new(BatchPolicy::new(1, Duration::ZERO))
+                .with_workers(1)
+                .with_queue_depth(2),
+        );
+        let mut accepted = Vec::new();
+        let mut rejections = 0u64;
+        for i in 0..32 {
+            // Slow enough that a channel-draining batcher would always win
+            // the race and never leave the channel full.
+            std::thread::sleep(Duration::from_micros(200));
+            match engine.try_submit(vec![i as f32, 0.0]) {
+                Ok(t) => accepted.push(t),
+                Err(SubmitError::QueueFull) => rejections += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(
+            rejections > 0,
+            "bounded admission must reject under sustained overload"
+        );
+        for t in accepted {
+            assert!(t.wait().is_some());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
     fn shutdown_drains_queued_work() {
         let engine = toy_engine(
             Duration::from_millis(1),
@@ -600,6 +955,160 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_some());
         }
+    }
+
+    #[test]
+    fn deadline_shedding_resolves_expired_queries() {
+        // Slow backend (5 ms/batch), 1 ms SLO: the first few batches fill
+        // the pipeline; everything queued behind them exceeds its budget
+        // while waiting and is shed -- with a resolved ticket, never dropped.
+        let engine = toy_engine(
+            Duration::from_millis(5),
+            EngineConfig::new(BatchPolicy::new(1, Duration::ZERO))
+                .with_workers(1)
+                .with_slo_us(1_000.0)
+                .with_deadline_shedding()
+                .with_service_estimate_us(500.0),
+        );
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|i| engine.submit(vec![i as f32, 0.0]).unwrap())
+            .collect();
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        for t in tickets {
+            let reply = t.wait().expect("every ticket resolves");
+            match reply.status {
+                QueryStatus::Completed => completed += 1,
+                QueryStatus::Shed => {
+                    shed += 1;
+                    assert!(reply.results.is_empty());
+                }
+                QueryStatus::Failed => panic!("no failures expected"),
+            }
+        }
+        assert!(shed > 0, "overloaded engine must shed");
+        let report = engine.shutdown();
+        assert_eq!(report.queries, completed);
+        assert_eq!(report.shed, shed);
+        assert_eq!(report.queries + report.shed, 32);
+        assert!(report.goodput_qps <= report.qps || report.qps == 0.0);
+    }
+
+    #[test]
+    fn queries_with_slack_are_not_shed() {
+        let engine = toy_engine(
+            Duration::ZERO,
+            EngineConfig::new(BatchPolicy::low_latency())
+                .with_slo_us(10_000_000.0)
+                .with_deadline_shedding(),
+        );
+        for i in 0..20 {
+            let reply = engine.submit(vec![i as f32, 0.0]).unwrap().wait().unwrap();
+            assert_eq!(reply.status, QueryStatus::Completed);
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.queries, 20);
+        assert_eq!(report.shed, 0);
+    }
+
+    #[test]
+    fn edf_pickup_serves_urgent_queries_first() {
+        // One worker at 30 ms/batch, batch queue depth workers*2 = 2. The
+        // prime + filler submissions keep the batcher blocked on a full
+        // batch queue, so the relaxed and urgent queries accumulate in the
+        // submit channel. When the batcher unblocks it drains both and EDF
+        // must dispatch the urgent one (tighter absolute deadline) first,
+        // even though the relaxed one arrived earlier.
+        let engine = toy_engine(
+            Duration::from_millis(30),
+            EngineConfig::new(
+                BatchPolicy::new(1, Duration::ZERO).with_pickup(PickupOrder::EarliestDeadlineFirst),
+            )
+            .with_workers(1),
+        );
+        let fillers: Vec<Ticket> = (0..4)
+            .map(|i| engine.submit(vec![i as f32, 0.0]).unwrap())
+            .collect();
+        std::thread::sleep(Duration::from_millis(2));
+        let relaxed = engine
+            .submit_with_budget(vec![10.0, 0.0], Duration::from_secs(600))
+            .unwrap();
+        let urgent = engine
+            .submit_with_budget(vec![11.0, 0.0], Duration::from_secs(300))
+            .unwrap();
+        let urgent_reply = urgent.wait().unwrap();
+        let relaxed_reply = relaxed.wait().unwrap();
+        for t in fillers {
+            assert_eq!(t.wait().unwrap().status, QueryStatus::Completed);
+        }
+        assert_eq!(urgent_reply.status, QueryStatus::Completed);
+        assert!(
+            urgent_reply.latency_us < relaxed_reply.latency_us,
+            "urgent ({:.0} us) must finish before relaxed ({:.0} us)",
+            urgent_reply.latency_us,
+            relaxed_reply.latency_us
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn failed_batches_resolve_every_ticket() {
+        struct BrokenBackend;
+        impl SearchBackend for BrokenBackend {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn dim(&self) -> usize {
+                2
+            }
+            fn k(&self) -> usize {
+                1
+            }
+            fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+                let _ = queries;
+                unreachable!("engine must use the fallible path")
+            }
+            fn try_search_batch(
+                &self,
+                queries: &[&[f32]],
+            ) -> Result<Vec<BackendResponse>, crate::backend::BackendError> {
+                let _ = queries;
+                Err(crate::backend::BackendError::new("broken", "always down"))
+            }
+        }
+        let engine = QueryEngine::start(
+            Arc::new(BrokenBackend),
+            EngineConfig::new(BatchPolicy::new(4, Duration::from_micros(100))).with_workers(2),
+        );
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| engine.submit(vec![i as f32, 0.0]).unwrap())
+            .collect();
+        for t in tickets {
+            let reply = t.wait().expect("failed queries still resolve");
+            assert_eq!(reply.status, QueryStatus::Failed);
+            assert!(reply.results.is_empty());
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.failed, 16);
+    }
+
+    #[test]
+    fn service_estimate_warms_up_from_observations() {
+        let engine = toy_engine(
+            Duration::from_millis(2),
+            EngineConfig::new(BatchPolicy::new(1, Duration::ZERO)).with_workers(1),
+        );
+        assert_eq!(engine.service_estimate_us(), 0.0);
+        for i in 0..8 {
+            engine.submit(vec![i as f32, 0.0]).unwrap().wait().unwrap();
+        }
+        let est = engine.service_estimate_us();
+        assert!(
+            est >= 1_000.0,
+            "estimate must reflect the ~2 ms service time: {est}"
+        );
+        engine.shutdown();
     }
 
     #[test]

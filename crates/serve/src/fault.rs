@@ -1,0 +1,229 @@
+//! Deterministic fault injection for exercising failover paths.
+//!
+//! [`FaultInjector`] wraps any [`SearchBackend`] and, controlled by a shared
+//! [`FaultHandle`], makes it misbehave on demand: add latency, fail every
+//! call, emulate a hung replica (sleep, then time out), or fail
+//! deterministically every N-th call. The handle can be flipped from another
+//! thread mid-run, which is how `examples/serve_failover.rs` kills a replica
+//! while traffic is flowing and how the replication tests prove the
+//! [`crate::replica::ReplicaSet`] reroutes around a sick backend.
+//!
+//! Faults are *deterministic*: there is no RNG. `ErrorEveryNth(n)` uses a
+//! per-injector call counter, so a test that submits a known number of
+//! batches knows exactly which ones fail.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::backend::{BackendError, BackendResponse, SearchBackend};
+
+/// What the injector does to each `search_batch` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Pass every call straight through to the inner backend.
+    Healthy,
+    /// Add a fixed latency before serving (a slow replica).
+    Delay(Duration),
+    /// Fail every call immediately (a crashed replica).
+    Error,
+    /// Sleep for the given duration, then fail (a hung replica whose caller
+    /// times out). Bounded so tests terminate.
+    Hang(Duration),
+    /// Fail deterministically every `n`-th call (an intermittently flaky
+    /// replica); `n = 0` behaves like [`FaultMode::Healthy`].
+    ErrorEveryNth(u64),
+}
+
+#[derive(Debug)]
+struct FaultState {
+    mode: Mutex<FaultMode>,
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// Shared remote control for one [`FaultInjector`]. Cloneable; flip the mode
+/// from any thread while the injector is serving.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    state: Arc<FaultState>,
+}
+
+impl FaultHandle {
+    /// Switches the injector to `mode` (takes effect on the next call).
+    pub fn set(&self, mode: FaultMode) {
+        *self.state.mode.lock().expect("fault mode lock") = mode;
+    }
+
+    /// The currently configured mode.
+    pub fn mode(&self) -> FaultMode {
+        *self.state.mode.lock().expect("fault mode lock")
+    }
+
+    /// Total `search_batch` calls observed by the injector.
+    pub fn calls(&self) -> u64 {
+        self.state.calls.load(Ordering::Relaxed)
+    }
+
+    /// Number of calls that were failed (error or hang) by injection.
+    pub fn injected_faults(&self) -> u64 {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`SearchBackend`] wrapper that injects faults per [`FaultMode`].
+///
+/// ```
+/// use fanns_serve::backend::{FlatBackend, SearchBackend};
+/// use fanns_serve::fault::{FaultInjector, FaultMode};
+/// use fanns_dataset::types::VectorDataset;
+/// use fanns_ivf::flat::FlatIndex;
+///
+/// let db = VectorDataset::from_vectors(2, (0..16).map(|i| [i as f32, 0.0]));
+/// let inner = FlatBackend::new(FlatIndex::new(db), 3);
+/// let (faulty, handle) = FaultInjector::new(Box::new(inner));
+/// let q: &[f32] = &[1.0, 0.0];
+/// assert!(faulty.try_search_batch(&[q]).is_ok());
+/// handle.set(FaultMode::Error);
+/// assert!(faulty.try_search_batch(&[q]).is_err());
+/// assert_eq!(handle.injected_faults(), 1);
+/// ```
+pub struct FaultInjector {
+    inner: Box<dyn SearchBackend>,
+    state: Arc<FaultState>,
+}
+
+impl FaultInjector {
+    /// Wraps `inner`, starting in [`FaultMode::Healthy`]. Returns the wrapper
+    /// and the control handle.
+    pub fn new(inner: Box<dyn SearchBackend>) -> (Self, FaultHandle) {
+        let state = Arc::new(FaultState {
+            mode: Mutex::new(FaultMode::Healthy),
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        });
+        let handle = FaultHandle {
+            state: Arc::clone(&state),
+        };
+        (Self { inner, state }, handle)
+    }
+
+    /// Wraps `inner` starting in the given mode.
+    pub fn with_mode(inner: Box<dyn SearchBackend>, mode: FaultMode) -> (Self, FaultHandle) {
+        let (injector, handle) = Self::new(inner);
+        handle.set(mode);
+        (injector, handle)
+    }
+
+    fn inject(&self, kind: &str) -> BackendError {
+        self.state.injected.fetch_add(1, Ordering::Relaxed);
+        BackendError::new(self.name(), format!("injected fault: {kind}"))
+    }
+}
+
+impl SearchBackend for FaultInjector {
+    fn name(&self) -> String {
+        format!("faulty[{}]", self.inner.name())
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    /// Infallible path: panics if the configured mode injects an error.
+    /// Callers that exercise faults must go through
+    /// [`SearchBackend::try_search_batch`].
+    fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        self.try_search_batch(queries)
+            .expect("fault injected on the infallible search path")
+    }
+
+    fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
+        let call = self.state.calls.fetch_add(1, Ordering::Relaxed);
+        let mode = *self.state.mode.lock().expect("fault mode lock");
+        match mode {
+            FaultMode::Healthy => self.inner.try_search_batch(queries),
+            FaultMode::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.try_search_batch(queries)
+            }
+            FaultMode::Error => Err(self.inject("unconditional error")),
+            FaultMode::Hang(d) => {
+                std::thread::sleep(d);
+                Err(self.inject("hang (timed out)"))
+            }
+            FaultMode::ErrorEveryNth(n) => {
+                if n > 0 && (call + 1).is_multiple_of(n) {
+                    Err(self.inject("every-nth error"))
+                } else {
+                    self.inner.try_search_batch(queries)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanns_dataset::types::VectorDataset;
+    use fanns_ivf::flat::FlatIndex;
+
+    fn flat() -> Box<dyn SearchBackend> {
+        let db = VectorDataset::from_vectors(2, (0..16).map(|i| [i as f32, 0.0]));
+        Box::new(crate::backend::FlatBackend::new(FlatIndex::new(db), 3))
+    }
+
+    #[test]
+    fn healthy_passes_through() {
+        let (faulty, handle) = FaultInjector::new(flat());
+        let q: &[f32] = &[2.0, 0.0];
+        let out = faulty.try_search_batch(&[q]).expect("healthy");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].results[0].id, 2);
+        assert_eq!(handle.calls(), 1);
+        assert_eq!(handle.injected_faults(), 0);
+    }
+
+    #[test]
+    fn error_mode_fails_every_call() {
+        let (faulty, handle) = FaultInjector::with_mode(flat(), FaultMode::Error);
+        let q: &[f32] = &[0.0, 0.0];
+        for _ in 0..3 {
+            let err = faulty.try_search_batch(&[q]).unwrap_err();
+            assert!(err.backend.contains("faulty["));
+        }
+        assert_eq!(handle.injected_faults(), 3);
+    }
+
+    #[test]
+    fn every_nth_is_deterministic() {
+        let (faulty, handle) = FaultInjector::with_mode(flat(), FaultMode::ErrorEveryNth(3));
+        let q: &[f32] = &[0.0, 0.0];
+        let outcomes: Vec<bool> = (0..9)
+            .map(|_| faulty.try_search_batch(&[q]).is_ok())
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(handle.injected_faults(), 3);
+    }
+
+    #[test]
+    fn hang_sleeps_then_fails() {
+        let (faulty, handle) =
+            FaultInjector::with_mode(flat(), FaultMode::Hang(Duration::from_millis(5)));
+        let q: &[f32] = &[0.0, 0.0];
+        let start = std::time::Instant::now();
+        assert!(faulty.try_search_batch(&[q]).is_err());
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        assert_eq!(handle.injected_faults(), 1);
+        handle.set(FaultMode::Healthy);
+        assert!(faulty.try_search_batch(&[q]).is_ok());
+    }
+}

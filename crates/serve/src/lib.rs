@@ -9,13 +9,26 @@
 //!   IVF-PQ searcher, the generated accelerator (cycle-level simulator, which
 //!   also reports modelled device latency), and an exact flat reference,
 //! * [`engine`] — the multi-threaded [`QueryEngine`]: bounded admission
-//!   queue, dynamic batcher (max-batch-size / max-wait), worker pool,
+//!   queue, dynamic batcher (max-batch-size / max-wait), deadline-aware
+//!   early shedding and earliest-deadline-first pickup, worker pool,
 //!   end-to-end backpressure, graceful shutdown,
 //! * [`dispatch`] — the sharded scatter/gather dispatcher with the paper's
 //!   LogGP network cost charged per distributed query,
-//! * [`metrics`] — log-bucketed latency histograms, SLO attainment and the
-//!   aggregated [`ServeReport`],
+//! * [`replica`] — the [`ReplicaSet`]: R replicas per shard behind
+//!   least-loaded routing, health tracking (consecutive-error and
+//!   latency-outlier detection), and quarantine-then-probe failover,
+//! * [`fault`] — the deterministic [`FaultInjector`] backend wrapper
+//!   (delay / error / hang / every-nth modes) that exercises the failover
+//!   machinery in tests and benchmarks,
+//! * [`metrics`] — log-bucketed latency histograms, SLO attainment, goodput,
+//!   per-replica utilization and the aggregated [`ServeReport`],
 //! * [`loadgen`] — open-loop Poisson and closed-loop load generators.
+//!
+//! The deployment stack composes bottom-up: an executor backend, optionally
+//! wrapped in a [`FaultInjector`], R of them behind a [`ReplicaSet`], one
+//! set per shard under a [`ShardedBackend`], and the whole thing behind the
+//! [`QueryEngine`] — every layer implements [`SearchBackend`], so each is
+//! optional.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -38,14 +51,27 @@
 //! println!("{}", engine.shutdown().summary());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod dispatch;
 pub mod engine;
+pub mod fault;
 pub mod loadgen;
 pub mod metrics;
+pub mod replica;
 
-pub use backend::{AcceleratorBackend, BackendResponse, CpuBackend, FlatBackend, SearchBackend};
-pub use dispatch::{shard_cpu_backends, shard_flat_backends, ShardedBackend};
-pub use engine::{BatchPolicy, EngineConfig, QueryEngine, QueryReply, SubmitError, Ticket};
+pub use backend::{
+    AcceleratorBackend, BackendError, BackendResponse, CpuBackend, FlatBackend, SearchBackend,
+};
+pub use dispatch::{
+    shard_cpu_backends, shard_flat_backends, shard_replicated_cpu_backends, ShardedBackend,
+};
+pub use engine::{
+    AdmissionPolicy, BatchPolicy, EngineConfig, PickupOrder, QueryEngine, QueryReply, QueryStatus,
+    SubmitError, Ticket,
+};
+pub use fault::{FaultHandle, FaultInjector, FaultMode};
 pub use loadgen::{run_closed_loop, run_open_loop, LoadgenOutcome, OpenLoopConfig};
 pub use metrics::{LatencyHistogram, ServeReport};
+pub use replica::{ReplicaHealthConfig, ReplicaSet, ReplicaSetStats, ReplicaSnapshot};

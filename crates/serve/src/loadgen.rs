@@ -17,7 +17,7 @@ use fanns_dataset::types::QuerySet;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::engine::{QueryEngine, SubmitError, Ticket};
+use crate::engine::{QueryEngine, QueryStatus, SubmitError, Ticket};
 
 /// Open-loop generator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,16 +55,33 @@ pub struct LoadgenOutcome {
     pub offered: usize,
     /// Arrivals accepted into the queue.
     pub accepted: usize,
-    /// Arrivals shed due to backpressure.
+    /// Arrivals shed at submission due to backpressure (`QueueFull`).
     pub shed: usize,
-    /// Completed replies observed by the generator.
+    /// Completed replies (with results) observed by the generator.
     pub completed: usize,
+    /// Accepted queries the engine shed for missing their deadline
+    /// ([`QueryStatus::Shed`] tickets).
+    pub deadline_shed: usize,
+    /// Accepted queries that failed on the backend
+    /// ([`QueryStatus::Failed`] tickets).
+    pub failed: usize,
     /// Offered rate over the generation window (QPS).
     pub offered_qps: f64,
     /// Completion rate over the full window including drain (QPS).
     pub achieved_qps: f64,
     /// Wall-clock duration of the whole run including drain (s).
     pub wall_seconds: f64,
+}
+
+/// Tallies a drained ticket into (completed, deadline_shed, failed) counters.
+fn tally(ticket: Ticket, completed: &mut usize, deadline_shed: &mut usize, failed: &mut usize) {
+    match ticket.wait().map(|reply| reply.status) {
+        Some(QueryStatus::Completed) => *completed += 1,
+        Some(QueryStatus::Shed) => *deadline_shed += 1,
+        Some(QueryStatus::Failed) => *failed += 1,
+        // Engine dropped the request mid-shutdown; counted nowhere.
+        None => {}
+    }
 }
 
 /// Drives a Poisson arrival process against the engine. Queries cycle
@@ -101,13 +118,14 @@ pub fn run_open_loop(
     }
     let offered_window = start.elapsed().as_secs_f64();
 
-    // Drain: wait for every accepted query.
+    // Drain: wait for every accepted query (each resolves exactly once, as
+    // completed, deadline-shed, or failed).
     let accepted = tickets.len();
     let mut completed = 0usize;
+    let mut deadline_shed = 0usize;
+    let mut failed = 0usize;
     for t in tickets {
-        if t.wait().is_some() {
-            completed += 1;
-        }
+        tally(t, &mut completed, &mut deadline_shed, &mut failed);
     }
     let wall_seconds = start.elapsed().as_secs_f64();
 
@@ -116,6 +134,8 @@ pub fn run_open_loop(
         accepted,
         shed,
         completed,
+        deadline_shed,
+        failed,
         offered_qps: config.num_queries as f64 / offered_window.max(1e-12),
         achieved_qps: completed as f64 / wall_seconds.max(1e-12),
         wall_seconds,
@@ -135,12 +155,13 @@ pub fn run_closed_loop(
     let start = Instant::now();
     let mut in_flight: VecDeque<Ticket> = VecDeque::with_capacity(concurrency);
     let mut completed = 0usize;
+    let mut deadline_shed = 0usize;
+    let mut failed = 0usize;
 
     for i in 0..num_queries {
         if in_flight.len() == concurrency {
-            if let Some(reply) = in_flight.pop_front().and_then(Ticket::wait) {
-                let _ = reply;
-                completed += 1;
+            if let Some(t) = in_flight.pop_front() {
+                tally(t, &mut completed, &mut deadline_shed, &mut failed);
             }
         }
         let query = queries.get(i % queries.len()).to_vec();
@@ -151,9 +172,7 @@ pub fn run_closed_loop(
         }
     }
     for t in in_flight {
-        if t.wait().is_some() {
-            completed += 1;
-        }
+        tally(t, &mut completed, &mut deadline_shed, &mut failed);
     }
     let wall_seconds = start.elapsed().as_secs_f64();
 
@@ -162,6 +181,8 @@ pub fn run_closed_loop(
         accepted: num_queries,
         shed: 0,
         completed,
+        deadline_shed,
+        failed,
         offered_qps: num_queries as f64 / wall_seconds.max(1e-12),
         achieved_qps: completed as f64 / wall_seconds.max(1e-12),
         wall_seconds,

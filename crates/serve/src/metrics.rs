@@ -1,7 +1,55 @@
 //! Latency accounting for the serving path: log-bucketed histograms, SLO
-//! attainment tracking, and the aggregated [`ServeReport`].
+//! attainment tracking, goodput, and the aggregated [`ServeReport`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
+
+use crate::replica::{ReplicaSetStats, ReplicaSnapshot};
+
+/// EWMA smoothing factor shared by every service-time model in this crate
+/// (the engine's shedding estimate, each replica's health tracker).
+const EWMA_ALPHA: f64 = 0.2;
+
+/// A lock-free EWMA over microsecond samples, stored as `f64` bits in an
+/// atomic. `0` means "no sample yet"; the first sample seeds the average.
+/// Updates are plain load/store — a lost update between racing writers only
+/// slows convergence of an already-approximate model.
+#[derive(Debug)]
+pub(crate) struct AtomicEwmaUs {
+    bits: AtomicU64,
+}
+
+impl AtomicEwmaUs {
+    /// An EWMA seeded at `initial_us` (0 = unset).
+    pub(crate) fn new(initial_us: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(initial_us.to_bits()),
+        }
+    }
+
+    /// The current average (µs); 0 until the first sample.
+    pub(crate) fn get_us(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Folds one sample into the average and returns the **previous** value
+    /// (callers use it for outlier comparisons). Non-finite or negative
+    /// samples are ignored.
+    pub(crate) fn observe_us(&self, sample_us: f64) -> f64 {
+        let prev = self.get_us();
+        if !sample_us.is_finite() || sample_us < 0.0 {
+            return prev;
+        }
+        let next = if prev == 0.0 {
+            sample_us
+        } else {
+            (1.0 - EWMA_ALPHA) * prev + EWMA_ALPHA * sample_us
+        };
+        self.bits.store(next.to_bits(), Ordering::Relaxed);
+        prev
+    }
+}
 
 /// A log-bucketed latency histogram over microseconds.
 ///
@@ -177,6 +225,10 @@ pub struct MetricsCollector {
     pub batch_size_sum: u64,
     /// Queries meeting the SLO (when one is configured).
     pub slo_hits: u64,
+    /// Queries shed by deadline-aware admission (resolved, not executed).
+    pub shed: u64,
+    /// Queries whose batch failed on the backend (resolved without results).
+    pub failed: u64,
 }
 
 impl MetricsCollector {
@@ -207,6 +259,16 @@ impl MetricsCollector {
         self.batch_size_sum += size as u64;
         self.service.record(service_us);
     }
+
+    /// Records `n` queries shed by deadline-aware admission.
+    pub fn record_shed(&mut self, n: u64) {
+        self.shed += n;
+    }
+
+    /// Records `n` queries that failed on the backend.
+    pub fn record_failed(&mut self, n: u64) {
+        self.failed += n;
+    }
 }
 
 /// The aggregated outcome of a serving run — the serving analogue of the
@@ -219,6 +281,13 @@ pub struct ServeReport {
     pub queries: u64,
     /// Queries rejected by backpressure (queue full).
     pub rejected: u64,
+    /// Queries shed by deadline-aware admission — accepted, then resolved as
+    /// [`crate::engine::QueryStatus::Shed`] because they could no longer
+    /// meet their deadline. Counted separately from `rejected`.
+    pub shed: u64,
+    /// Queries whose batch failed on the backend (resolved as
+    /// [`crate::engine::QueryStatus::Failed`]).
+    pub failed: u64,
     /// Executed batches.
     pub batches: u64,
     /// Mean formed batch size.
@@ -227,6 +296,10 @@ pub struct ServeReport {
     pub wall_seconds: f64,
     /// Achieved throughput (completed / wall_seconds).
     pub qps: f64,
+    /// **Goodput**: completed-in-SLO queries per second. Equal to `qps` when
+    /// no SLO is configured; the deployment-quality metric otherwise — shed,
+    /// failed and SLO-missing queries all reduce it.
+    pub goodput_qps: f64,
     /// Median end-to-end latency (µs).
     pub p50_us: f64,
     /// 95th-percentile end-to-end latency (µs).
@@ -249,6 +322,12 @@ pub struct ServeReport {
     pub simulated_p50_us: Option<f64>,
     /// 99th-percentile simulated device latency, µs.
     pub simulated_p99_us: Option<f64>,
+    /// Batches rerouted after a replica failure, summed over every attached
+    /// replica set (0 until [`ServeReport::with_replica_stats`] is called).
+    pub failover_count: u64,
+    /// Per-replica utilization snapshots, in (shard-major, replica-minor)
+    /// order (empty until [`ServeReport::with_replica_stats`] is called).
+    pub replicas: Vec<ReplicaSnapshot>,
 }
 
 impl ServeReport {
@@ -276,10 +355,20 @@ impl ServeReport {
                 Some(collector.simulated.percentile(99.0)),
             )
         };
+        let goodput_qps = if wall_seconds > 0.0 {
+            match slo_us {
+                Some(_) => collector.slo_hits as f64 / wall_seconds,
+                None => completed as f64 / wall_seconds,
+            }
+        } else {
+            0.0
+        };
         Self {
             backend,
             queries: completed,
             rejected,
+            shed: collector.shed,
+            failed: collector.failed,
             batches: collector.batches,
             mean_batch_size: if collector.batches == 0 {
                 0.0
@@ -292,6 +381,7 @@ impl ServeReport {
             } else {
                 0.0
             },
+            goodput_qps,
             p50_us: collector.wall.percentile(50.0),
             p95_us: collector.wall.percentile(95.0),
             p99_us: collector.wall.percentile(99.0),
@@ -303,19 +393,49 @@ impl ServeReport {
             slo_attainment,
             simulated_p50_us,
             simulated_p99_us,
+            failover_count: 0,
+            replicas: Vec::new(),
         }
+    }
+
+    /// Folds live replica-set statistics into the report: sums failovers
+    /// across sets and snapshots each replica's utilization against this
+    /// report's wall-clock window. Pass the stats handles kept from each
+    /// shard's [`crate::replica::ReplicaSet`] (one handle per shard).
+    pub fn with_replica_stats(mut self, sets: &[ReplicaSetStats]) -> Self {
+        self.failover_count = sets.iter().map(ReplicaSetStats::failovers).sum();
+        self.replicas = sets
+            .iter()
+            .flat_map(|s| s.snapshot(self.wall_seconds))
+            .collect();
+        self
     }
 
     /// One-paragraph human-readable summary.
     pub fn summary(&self) -> String {
         let slo = match (self.slo_us, self.slo_attainment) {
             (Some(slo), Some(hit)) => {
-                format!(", SLO {:.0} us met by {:.1}%", slo, hit * 100.0)
+                format!(
+                    ", SLO {:.0} us met by {:.1}% (goodput {:.0} QPS)",
+                    slo,
+                    hit * 100.0,
+                    self.goodput_qps
+                )
             }
             _ => String::new(),
         };
+        let drops = if self.shed > 0 || self.failed > 0 {
+            format!(" | shed {}, failed {}", self.shed, self.failed)
+        } else {
+            String::new()
+        };
+        let failover = if self.failover_count > 0 {
+            format!(" | failovers {}", self.failover_count)
+        } else {
+            String::new()
+        };
         format!(
-            "{}: {} queries in {:.2} s -> {:.0} QPS | latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us | mean batch {:.1}{}",
+            "{}: {} queries in {:.2} s -> {:.0} QPS | latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us | mean batch {:.1}{}{}{}",
             self.backend,
             self.queries,
             self.wall_seconds,
@@ -324,7 +444,9 @@ impl ServeReport {
             self.p95_us,
             self.p99_us,
             self.mean_batch_size,
-            slo
+            slo,
+            drops,
+            failover
         )
     }
 }
@@ -406,5 +528,30 @@ mod tests {
         assert!(report.slo_attainment.unwrap() > 0.0);
         assert!(report.simulated_p50_us.is_some());
         assert!(report.summary().contains("QPS"));
+        // Goodput counts only in-SLO completions: 50 of 100 queries are at
+        // or below 150 µs (wall 100..=149 µs qualify), over 2 s.
+        assert_eq!(report.goodput_qps, c.slo_hits as f64 / 2.0);
+        assert!(report.goodput_qps <= report.qps);
+    }
+
+    #[test]
+    fn shed_and_failed_are_counted_separately_from_rejected() {
+        let mut c = MetricsCollector::default();
+        for _ in 0..10 {
+            c.record_query(100.0, 5.0, None, None);
+        }
+        c.record_shed(4);
+        c.record_failed(2);
+        let report = ServeReport::from_collector("test".into(), &c, 1.0, 7, None);
+        assert_eq!(report.queries, 10);
+        assert_eq!(report.shed, 4);
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.rejected, 7);
+        // Without an SLO goodput degenerates to throughput.
+        assert_eq!(report.goodput_qps, report.qps);
+        assert!(report.summary().contains("shed 4"));
+        // No replica stats attached yet.
+        assert_eq!(report.failover_count, 0);
+        assert!(report.replicas.is_empty());
     }
 }

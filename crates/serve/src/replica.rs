@@ -1,0 +1,711 @@
+//! Replication: R replicas per shard behind least-loaded routing, health
+//! tracking, and failover.
+//!
+//! The paper's scale-out story (Figures 1 and 12) makes tail latency the
+//! property of the *slowest* participant. A [`ReplicaSet`] defends that tail:
+//! it holds R interchangeable replicas of one shard and routes every batch to
+//! the replica with the fewest outstanding requests. When a replica fails
+//! (see [`crate::fault::FaultInjector`] for a deterministic way to make one
+//! fail), the batch **fails over** to the next healthy replica; a replica
+//! that keeps failing — or whose latency becomes a consistent outlier — is
+//! **quarantined** out of the rotation and later **probed** with a single
+//! live request (a half-open circuit breaker) before being restored.
+//!
+//! A [`ReplicaSet`] implements [`SearchBackend`], so it slots in anywhere a
+//! single replica does: directly under the [`crate::engine::QueryEngine`],
+//! or one-per-shard under the [`crate::dispatch::ShardedBackend`] (see
+//! [`crate::dispatch::shard_replicated_cpu_backends`]) for the full
+//! replicated + sharded deployment.
+//!
+//! Routing to a replica is modelled as one LogGP point-to-point hop for the
+//! query and one for the result ([`replica_route_network_us`]) when a network
+//! model is attached — the serving-side reuse of the paper's §7.3.2 network
+//! constants.
+//!
+//! [`replica_route_network_us`]: fanns_scaleout::collective::replica_route_network_us
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use fanns_scaleout::collective::replica_route_network_us;
+use fanns_scaleout::loggp::{query_message_bytes, result_message_bytes, LogGpParams};
+
+use crate::backend::{BackendError, BackendResponse, SearchBackend};
+use crate::metrics::AtomicEwmaUs;
+
+/// Replica lifecycle states (stored in an `AtomicU8`).
+const HEALTHY: u8 = 0;
+const QUARANTINED: u8 = 1;
+const PROBING: u8 = 2;
+
+/// Health-tracking policy for a [`ReplicaSet`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaHealthConfig {
+    /// Consecutive errors before a replica is quarantined.
+    pub error_threshold: u32,
+    /// A batch counts as a latency outlier when its per-query service time
+    /// exceeds `outlier_factor` × the replica's EWMA service time.
+    pub outlier_factor: f64,
+    /// Consecutive latency outliers before a replica is quarantined.
+    pub outlier_threshold: u32,
+    /// How long a quarantined replica stays out of the rotation before the
+    /// router probes it with one live request.
+    pub quarantine: Duration,
+    /// Batches a replica must serve before outlier detection engages (lets
+    /// the EWMA settle).
+    pub warmup_batches: u64,
+}
+
+impl Default for ReplicaHealthConfig {
+    fn default() -> Self {
+        Self {
+            error_threshold: 3,
+            outlier_factor: 8.0,
+            outlier_threshold: 5,
+            quarantine: Duration::from_millis(200),
+            warmup_batches: 10,
+        }
+    }
+}
+
+impl ReplicaHealthConfig {
+    /// Builder-style quarantine duration override.
+    pub fn with_quarantine(mut self, quarantine: Duration) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+
+    /// Builder-style consecutive-error threshold override.
+    pub fn with_error_threshold(mut self, threshold: u32) -> Self {
+        self.error_threshold = threshold.max(1);
+        self
+    }
+
+    /// Builder-style outlier policy override.
+    pub fn with_outlier(mut self, factor: f64, threshold: u32) -> Self {
+        self.outlier_factor = factor.max(1.0);
+        self.outlier_threshold = threshold.max(1);
+        self
+    }
+}
+
+/// Per-replica live counters, shared between the router and stats handles.
+#[derive(Debug)]
+struct ReplicaCounters {
+    /// Requests currently executing on this replica (the routing signal).
+    outstanding: AtomicUsize,
+    completed_batches: AtomicU64,
+    completed_queries: AtomicU64,
+    errors: AtomicU64,
+    quarantines: AtomicU64,
+    /// Accumulated service time (µs) — utilization numerator.
+    busy_us: AtomicU64,
+    /// Per-query EWMA service time.
+    ewma_us: AtomicEwmaUs,
+    consecutive_errors: AtomicU32,
+    consecutive_outliers: AtomicU32,
+    state: AtomicU8,
+    /// Quarantine expiry, µs since the set's epoch.
+    quarantine_until_us: AtomicU64,
+}
+
+impl ReplicaCounters {
+    fn new() -> Self {
+        Self {
+            outstanding: AtomicUsize::new(0),
+            completed_batches: AtomicU64::new(0),
+            completed_queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+            ewma_us: AtomicEwmaUs::new(0.0),
+            consecutive_errors: AtomicU32::new(0),
+            consecutive_outliers: AtomicU32::new(0),
+            state: AtomicU8::new(HEALTHY),
+            quarantine_until_us: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StatsInner {
+    epoch: Instant,
+    failovers: AtomicU64,
+    replicas: Vec<ReplicaCounters>,
+}
+
+impl StatsInner {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A point-in-time view of one replica, embedded in serving reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaSnapshot {
+    /// Replica index within its set.
+    pub replica: usize,
+    /// Queries this replica answered.
+    pub completed_queries: u64,
+    /// Batches this replica failed.
+    pub errors: u64,
+    /// Times this replica was quarantined.
+    pub quarantines: u64,
+    /// Accumulated service time (µs).
+    pub busy_us: f64,
+    /// Fraction of the measurement window this replica spent serving
+    /// (`busy_us / window`); 0 when no window is known.
+    pub utilization: f64,
+    /// EWMA per-query service time (µs).
+    pub mean_service_us: f64,
+    /// Whether the replica is currently in the rotation.
+    pub healthy: bool,
+}
+
+/// Cloneable live-stats handle onto a [`ReplicaSet`].
+///
+/// Keep one before moving the set into a [`crate::dispatch::ShardedBackend`]
+/// (which owns its shards on private threads): the handle stays valid and
+/// reads the same atomics the router updates.
+#[derive(Debug, Clone)]
+pub struct ReplicaSetStats {
+    inner: Arc<StatsInner>,
+}
+
+impl ReplicaSetStats {
+    /// Number of replicas in the set.
+    pub fn num_replicas(&self) -> usize {
+        self.inner.replicas.len()
+    }
+
+    /// Batches rerouted to another replica after a failure so far.
+    pub fn failovers(&self) -> u64 {
+        self.inner.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Total queries answered across replicas.
+    pub fn completed_queries(&self) -> u64 {
+        self.inner
+            .replicas
+            .iter()
+            .map(|r| r.completed_queries.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total replica-side batch failures.
+    pub fn errors(&self) -> u64 {
+        self.inner
+            .replicas
+            .iter()
+            .map(|r| r.errors.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-replica snapshots; `wall_seconds` (when positive) is the window
+    /// used to derive each replica's utilization.
+    pub fn snapshot(&self, wall_seconds: f64) -> Vec<ReplicaSnapshot> {
+        let window_us = wall_seconds * 1e6;
+        self.inner
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(replica, c)| {
+                let busy_us = c.busy_us.load(Ordering::Relaxed) as f64;
+                ReplicaSnapshot {
+                    replica,
+                    completed_queries: c.completed_queries.load(Ordering::Relaxed),
+                    errors: c.errors.load(Ordering::Relaxed),
+                    quarantines: c.quarantines.load(Ordering::Relaxed),
+                    busy_us,
+                    utilization: if window_us > 0.0 {
+                        (busy_us / window_us).min(1.0)
+                    } else {
+                        0.0
+                    },
+                    mean_service_us: c.ewma_us.get_us(),
+                    healthy: c.state.load(Ordering::Relaxed) != QUARANTINED,
+                }
+            })
+            .collect()
+    }
+}
+
+/// R interchangeable replicas of one shard behind least-loaded routing with
+/// failover and quarantine (see the [module docs](self)).
+pub struct ReplicaSet {
+    replicas: Vec<Box<dyn SearchBackend>>,
+    stats: Arc<StatsInner>,
+    health: ReplicaHealthConfig,
+    /// Network model for the one-hop route to a replica; `None` models
+    /// co-located replicas with zero network cost.
+    network: Option<LogGpParams>,
+    replica_name: String,
+    dim: usize,
+    k: usize,
+}
+
+impl ReplicaSet {
+    /// Assembles a replica set.
+    ///
+    /// # Panics
+    /// Panics if no replicas are given or if they disagree on `dim` / `k`.
+    pub fn new(
+        replicas: Vec<Box<dyn SearchBackend>>,
+        health: ReplicaHealthConfig,
+        network: Option<LogGpParams>,
+    ) -> Self {
+        assert!(
+            !replicas.is_empty(),
+            "replica set needs at least one replica"
+        );
+        let dim = replicas[0].dim();
+        let k = replicas[0].k();
+        let replica_name = replicas[0].name();
+        for r in &replicas {
+            assert_eq!(r.dim(), dim, "replicas must agree on dimensionality");
+            assert_eq!(r.k(), k, "replicas must agree on k");
+        }
+        let stats = Arc::new(StatsInner {
+            epoch: Instant::now(),
+            failovers: AtomicU64::new(0),
+            replicas: (0..replicas.len())
+                .map(|_| ReplicaCounters::new())
+                .collect(),
+        });
+        Self {
+            replicas,
+            stats,
+            health,
+            network,
+            replica_name,
+            dim,
+            k,
+        }
+    }
+
+    /// R replica slots sharing one in-memory executor — the cheap way to
+    /// model replication of a CPU/flat backend without duplicating the index.
+    pub fn replicate_shared(
+        backend: Arc<dyn SearchBackend>,
+        replicas: usize,
+        health: ReplicaHealthConfig,
+        network: Option<LogGpParams>,
+    ) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        let slots: Vec<Box<dyn SearchBackend>> = (0..replicas)
+            .map(|_| Box::new(Arc::clone(&backend)) as Box<dyn SearchBackend>)
+            .collect();
+        Self::new(slots, health, network)
+    }
+
+    /// Number of replicas in the set.
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// A cloneable live-stats handle (valid after the set is moved into a
+    /// dispatcher or engine).
+    pub fn stats(&self) -> ReplicaSetStats {
+        ReplicaSetStats {
+            inner: Arc::clone(&self.stats),
+        }
+    }
+
+    /// The modeled network cost of routing one query to a replica and
+    /// returning its K results (µs); zero without a network model.
+    pub fn network_us_per_query(&self) -> f64 {
+        match &self.network {
+            Some(net) => replica_route_network_us(
+                net,
+                query_message_bytes(self.dim),
+                result_message_bytes(self.k),
+            ),
+            None => 0.0,
+        }
+    }
+
+    /// Picks the next replica to try: an expired-quarantine replica to probe
+    /// (half-open circuit breaker) if any, otherwise the healthy replica with
+    /// the fewest outstanding requests, otherwise a replica another thread is
+    /// currently probing.
+    fn pick(&self, tried: &[bool]) -> Option<usize> {
+        let now_us = self.stats.now_us();
+        for (i, c) in self.stats.replicas.iter().enumerate() {
+            if tried[i] {
+                continue;
+            }
+            if c.state.load(Ordering::Acquire) == QUARANTINED
+                && now_us >= c.quarantine_until_us.load(Ordering::Acquire)
+                && c.state
+                    .compare_exchange(QUARANTINED, PROBING, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Some(i);
+            }
+        }
+        self.stats
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| !tried[*i] && c.state.load(Ordering::Acquire) == HEALTHY)
+            .min_by_key(|(_, c)| c.outstanding.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .or_else(|| {
+                // Last resort: a replica mid-probe on another thread can
+                // serve concurrent batches; routing to it beats failing the
+                // batch outright while the rest of the set is quarantined.
+                self.stats
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| !tried[*i] && c.state.load(Ordering::Acquire) == PROBING)
+                    .min_by_key(|(_, c)| c.outstanding.load(Ordering::Relaxed))
+                    .map(|(i, _)| i)
+            })
+    }
+
+    fn quarantine(&self, idx: usize) {
+        let c = &self.stats.replicas[idx];
+        let until = self.stats.now_us() + self.health.quarantine.as_micros() as u64;
+        c.quarantine_until_us.store(until, Ordering::Release);
+        c.state.store(QUARANTINED, Ordering::Release);
+        c.quarantines.fetch_add(1, Ordering::Relaxed);
+        c.consecutive_errors.store(0, Ordering::Relaxed);
+        c.consecutive_outliers.store(0, Ordering::Relaxed);
+    }
+
+    fn on_success(&self, idx: usize, elapsed_us: f64, num_queries: usize) {
+        let c = &self.stats.replicas[idx];
+        let per_query_us = elapsed_us / num_queries.max(1) as f64;
+        let batches = c.completed_batches.fetch_add(1, Ordering::Relaxed) + 1;
+        c.completed_queries
+            .fetch_add(num_queries as u64, Ordering::Relaxed);
+        c.busy_us.fetch_add(elapsed_us as u64, Ordering::Relaxed);
+        c.consecutive_errors.store(0, Ordering::Relaxed);
+
+        // `prev` (the EWMA before this sample) is the baseline the outlier
+        // check below compares against.
+        let prev = c.ewma_us.observe_us(per_query_us);
+
+        // A probe that succeeds restores the replica to the rotation.
+        if c.state.load(Ordering::Acquire) == PROBING {
+            c.state.store(HEALTHY, Ordering::Release);
+            c.consecutive_outliers.store(0, Ordering::Relaxed);
+            return;
+        }
+
+        // Latency-outlier detection (once the EWMA has warmed up).
+        if batches > self.health.warmup_batches
+            && prev > 0.0
+            && per_query_us > self.health.outlier_factor * prev
+        {
+            let outliers = c.consecutive_outliers.fetch_add(1, Ordering::Relaxed) + 1;
+            if outliers >= self.health.outlier_threshold {
+                self.quarantine(idx);
+            }
+        } else {
+            c.consecutive_outliers.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn on_error(&self, idx: usize) {
+        let c = &self.stats.replicas[idx];
+        c.errors.fetch_add(1, Ordering::Relaxed);
+        if c.state.load(Ordering::Acquire) == PROBING {
+            // Failed probe: straight back into quarantine.
+            self.quarantine(idx);
+            return;
+        }
+        let errors = c.consecutive_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        if errors >= self.health.error_threshold {
+            self.quarantine(idx);
+        }
+    }
+
+    /// Adds the modeled route cost to each response's simulated latency when
+    /// a network model is attached; passes responses through untouched
+    /// otherwise.
+    fn annotate(
+        &self,
+        responses: Vec<BackendResponse>,
+        elapsed_us: f64,
+        num_queries: usize,
+    ) -> Vec<BackendResponse> {
+        let Some(_) = self.network else {
+            return responses;
+        };
+        let route_us = self.network_us_per_query();
+        let per_query_us = elapsed_us / num_queries.max(1) as f64;
+        responses
+            .into_iter()
+            .map(|mut r| {
+                r.simulated_us = Some(r.simulated_us.unwrap_or(per_query_us) + route_us);
+                r
+            })
+            .collect()
+    }
+}
+
+impl SearchBackend for ReplicaSet {
+    fn name(&self) -> String {
+        let net = if self.network.is_some() {
+            "loggp"
+        } else {
+            "local"
+        };
+        format!(
+            "replicas[{}x {} | {net}]",
+            self.replicas.len(),
+            self.replica_name
+        )
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Infallible path: panics only when **every** replica is down.
+    fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        self.try_search_batch(queries)
+            .expect("every replica in the set is unavailable")
+    }
+
+    fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
+        let mut tried = vec![false; self.replicas.len()];
+        let mut attempts = 0usize;
+        loop {
+            let Some(idx) = self.pick(&tried) else {
+                return Err(BackendError::new(
+                    self.name(),
+                    format!(
+                        "no replica available ({} of {} tried and failed)",
+                        attempts,
+                        self.replicas.len()
+                    ),
+                ));
+            };
+            // A failover is a batch actually rerouted to a replacement
+            // replica — counted when the replacement dispatches, so a batch
+            // that finds no replacement (all replicas down) records attempts,
+            // not failovers.
+            if attempts > 0 {
+                self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            tried[idx] = true;
+            attempts += 1;
+            let c = &self.stats.replicas[idx];
+            c.outstanding.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
+            let outcome = self.replicas[idx].try_search_batch(queries);
+            let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+            c.outstanding.fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                Ok(responses) if responses.len() == queries.len() => {
+                    self.on_success(idx, elapsed_us, queries.len());
+                    return Ok(self.annotate(responses, elapsed_us, queries.len()));
+                }
+                // A replica answering with the wrong arity is as broken as
+                // one that errors: fail over rather than drop replies.
+                Ok(_) | Err(_) => self.on_error(idx),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FlatBackend;
+    use crate::fault::{FaultInjector, FaultMode};
+    use fanns_dataset::synth::SyntheticSpec;
+    use fanns_ivf::flat::FlatIndex;
+
+    fn shared_flat(seed: u64) -> (Arc<dyn SearchBackend>, fanns_dataset::types::QuerySet) {
+        let (db, queries) = SyntheticSpec::sift_small(seed).generate();
+        let backend: Arc<dyn SearchBackend> = Arc::new(FlatBackend::new(FlatIndex::new(db), 5));
+        (backend, queries)
+    }
+
+    fn faulty_set(
+        shared: &Arc<dyn SearchBackend>,
+        replicas: usize,
+        health: ReplicaHealthConfig,
+    ) -> (ReplicaSet, Vec<crate::fault::FaultHandle>) {
+        let mut handles = Vec::new();
+        let slots: Vec<Box<dyn SearchBackend>> = (0..replicas)
+            .map(|_| {
+                let (inj, handle) =
+                    FaultInjector::new(Box::new(Arc::clone(shared)) as Box<dyn SearchBackend>);
+                handles.push(handle);
+                Box::new(inj) as Box<dyn SearchBackend>
+            })
+            .collect();
+        (ReplicaSet::new(slots, health, None), handles)
+    }
+
+    #[test]
+    fn routes_to_least_loaded_and_answers_correctly() {
+        let (shared, queries) = shared_flat(301);
+        let set = ReplicaSet::replicate_shared(
+            Arc::clone(&shared),
+            3,
+            ReplicaHealthConfig::default(),
+            None,
+        );
+        assert_eq!(set.num_replicas(), 3);
+        let q: Vec<&[f32]> = (0..8).map(|i| queries.get(i)).collect();
+        let direct = shared.search_batch(&q);
+        let routed = set.search_batch(&q);
+        assert_eq!(routed, direct);
+        let stats = set.stats();
+        assert_eq!(stats.completed_queries(), 8);
+        assert_eq!(stats.failovers(), 0);
+    }
+
+    #[test]
+    fn failover_survives_a_dead_replica() {
+        let (shared, queries) = shared_flat(302);
+        let (set, handles) = faulty_set(&shared, 3, ReplicaHealthConfig::default());
+        let stats = set.stats();
+        handles[0].set(FaultMode::Error);
+        let q: Vec<&[f32]> = (0..4).map(|i| queries.get(i)).collect();
+        let expect = shared.search_batch(&q);
+        for _ in 0..20 {
+            assert_eq!(set.search_batch(&q), expect);
+        }
+        assert!(stats.failovers() > 0, "dead replica must cause failovers");
+        // After error_threshold consecutive errors the dead replica is
+        // quarantined and stops being picked, so failovers stop growing.
+        let snap = stats.snapshot(1.0);
+        assert!(!snap[0].healthy, "dead replica must be quarantined");
+        assert!(snap[0].quarantines >= 1);
+        assert_eq!(snap[0].completed_queries, 0);
+        assert!(snap[1].completed_queries + snap[2].completed_queries > 0);
+    }
+
+    #[test]
+    fn quarantined_replica_is_probed_and_restored() {
+        let (shared, queries) = shared_flat(303);
+        let health = ReplicaHealthConfig::default()
+            .with_error_threshold(1)
+            .with_quarantine(Duration::from_millis(10));
+        let (set, handles) = faulty_set(&shared, 2, health);
+        let stats = set.stats();
+        let q: Vec<&[f32]> = vec![queries.get(0)];
+
+        handles[0].set(FaultMode::Error);
+        set.search_batch(&q); // error -> quarantine replica 0, failover to 1
+        assert!(!stats.snapshot(0.0)[0].healthy);
+
+        // Heal the replica, wait out the quarantine: the next request probes
+        // it and restores it to the rotation.
+        handles[0].set(FaultMode::Healthy);
+        std::thread::sleep(Duration::from_millis(15));
+        for _ in 0..4 {
+            set.search_batch(&q);
+        }
+        let snap = stats.snapshot(0.0);
+        assert!(snap[0].healthy, "probed replica must be restored");
+        assert!(snap[0].completed_queries > 0, "probe served a live query");
+    }
+
+    #[test]
+    fn all_replicas_down_is_an_error_not_a_hang() {
+        let (shared, queries) = shared_flat(304);
+        let (set, handles) = faulty_set(&shared, 2, ReplicaHealthConfig::default());
+        let stats = set.stats();
+        for h in &handles {
+            h.set(FaultMode::Error);
+        }
+        let q: Vec<&[f32]> = vec![queries.get(0)];
+        let err = set.try_search_batch(&q).unwrap_err();
+        assert!(err.message.contains("no replica available"));
+        // The batch was rerouted exactly once (to the second replica, which
+        // also failed); attempts that find no replacement are not failovers.
+        assert_eq!(stats.failovers(), 1);
+        assert_eq!(stats.errors(), 2);
+    }
+
+    #[test]
+    fn single_dead_replica_records_no_failovers() {
+        // With R = 1 there is nowhere to fail over to: a failed batch must
+        // count as an error, not a failover.
+        let (shared, queries) = shared_flat(307);
+        let (set, handles) = faulty_set(&shared, 1, ReplicaHealthConfig::default());
+        let stats = set.stats();
+        handles[0].set(FaultMode::Error);
+        let q: Vec<&[f32]> = vec![queries.get(0)];
+        assert!(set.try_search_batch(&q).is_err());
+        assert_eq!(stats.failovers(), 0);
+        assert_eq!(stats.errors(), 1);
+    }
+
+    #[test]
+    fn concurrent_request_rides_along_with_a_probe() {
+        // While one thread probes the only replica (slow to answer), a
+        // second thread's batch must route to the probing replica instead of
+        // failing with "no replica available".
+        let (shared, queries) = shared_flat(308);
+        let health = ReplicaHealthConfig::default()
+            .with_error_threshold(1)
+            .with_quarantine(Duration::from_millis(5));
+        let (set, handles) = faulty_set(&shared, 1, health);
+        let q: Vec<&[f32]> = vec![queries.get(0)];
+
+        handles[0].set(FaultMode::Error);
+        assert!(set.try_search_batch(&q).is_err()); // quarantine the replica
+        handles[0].set(FaultMode::Delay(Duration::from_millis(40))); // healed, slow
+        std::thread::sleep(Duration::from_millis(10)); // quarantine expires
+
+        let set = Arc::new(set);
+        let prober = {
+            let set = Arc::clone(&set);
+            let query: Vec<f32> = queries.get(0).to_vec();
+            std::thread::spawn(move || set.try_search_batch(&[query.as_slice()]).is_ok())
+        };
+        // Arrive mid-probe: the replica is in the PROBING state for ~40 ms.
+        std::thread::sleep(Duration::from_millis(10));
+        let rider = set.try_search_batch(&q);
+        assert!(prober.join().expect("probe thread"), "probe succeeds");
+        assert!(
+            rider.is_ok(),
+            "a concurrent batch must ride along with the probe, not fail: {rider:?}"
+        );
+    }
+
+    #[test]
+    fn network_model_charges_route_cost() {
+        let (shared, queries) = shared_flat(305);
+        let set = ReplicaSet::replicate_shared(
+            Arc::clone(&shared),
+            2,
+            ReplicaHealthConfig::default(),
+            Some(LogGpParams::paper_infiniband()),
+        );
+        let route = set.network_us_per_query();
+        assert!(route > 0.0);
+        let q: Vec<&[f32]> = vec![queries.get(0)];
+        let resp = set.search_batch(&q);
+        let modeled = resp[0].simulated_us.expect("modeled latency present");
+        assert!(
+            modeled >= route,
+            "modeled {modeled} must include route {route}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_replicas_are_rejected() {
+        let (db, _) = SyntheticSpec::sift_small(306).generate();
+        let a = Box::new(FlatBackend::new(FlatIndex::new(db.clone()), 5));
+        let b = Box::new(FlatBackend::new(FlatIndex::new(db), 10));
+        let _ = ReplicaSet::new(vec![a, b], ReplicaHealthConfig::default(), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Failover demo: a replicated deployment survives a mid-run replica death.
+//!
+//! Three replica slots (sharing one CPU IVF-PQ index) serve an open-loop
+//! Poisson stream behind the deadline-aware `QueryEngine`. A third of the way
+//! through the run, one replica is killed via its `FaultInjector`; the
+//! `ReplicaSet` reroutes its traffic to the survivors (failover), quarantines
+//! it, and — once it is revived — probes and restores it. The final report
+//! must show failovers happened, goodput stayed positive, and p99 stayed
+//! finite: the tail survives the fault.
+//!
+//! ```sh
+//! cargo run --release --example serve_failover
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fanns_dataset::synth::SyntheticSpec;
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::params::IvfPqParams;
+use fanns_serve::loadgen::{run_open_loop, OpenLoopConfig};
+use fanns_serve::{
+    BatchPolicy, CpuBackend, EngineConfig, FaultInjector, FaultMode, PickupOrder, QueryEngine,
+    ReplicaHealthConfig, ReplicaSet, SearchBackend,
+};
+
+fn main() {
+    // 1. Offline: build one IVF-PQ index; replicas share it in memory.
+    let (database, queries) = SyntheticSpec::sift_medium(42)
+        .with_vectors(20_000)
+        .with_queries(256)
+        .generate();
+    let nlist = 64;
+    let index = IvfPqIndex::build(
+        &database,
+        &IvfPqTrainConfig::new(nlist)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(10_000)
+            .with_seed(7),
+    );
+    let executor: Arc<dyn SearchBackend> = Arc::new(CpuBackend::new(
+        index,
+        IvfPqParams::new(nlist, 8, 10).with_m(16),
+    ));
+
+    // 2. Deploy: three fault-injectable replica slots behind least-loaded
+    //    routing, a 100 ms quarantine, and a 5 ms end-to-end SLO with
+    //    deadline shedding and earliest-deadline-first pickup.
+    let mut handles = Vec::new();
+    let slots: Vec<Box<dyn SearchBackend>> = (0..3)
+        .map(|_| {
+            let (injector, handle) =
+                FaultInjector::new(Box::new(Arc::clone(&executor)) as Box<dyn SearchBackend>);
+            handles.push(handle);
+            Box::new(injector) as Box<dyn SearchBackend>
+        })
+        .collect();
+    let health = ReplicaHealthConfig::default().with_quarantine(Duration::from_millis(100));
+    let set = ReplicaSet::new(slots, health, None);
+    let stats = set.stats();
+    println!("deployment: {}", set.name());
+
+    let engine = QueryEngine::start(
+        Arc::new(set),
+        EngineConfig::new(
+            BatchPolicy::new(32, Duration::from_micros(500))
+                .with_pickup(PickupOrder::EarliestDeadlineFirst),
+        )
+        .with_workers(2)
+        .with_queue_depth(4_096)
+        .with_slo_us(5_000.0)
+        .with_deadline_shedding(),
+    );
+
+    // 3. Chaos: kill replica 0 a third of the way through the run, revive it
+    //    two thirds through. The load generator never notices.
+    let killer = {
+        let handle = handles[0].clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(350));
+            println!("[chaos] replica 0 killed");
+            handle.set(FaultMode::Error);
+            std::thread::sleep(Duration::from_millis(350));
+            handle.set(FaultMode::Healthy);
+            println!("[chaos] replica 0 revived");
+        })
+    };
+
+    // 4. Serve: open-loop Poisson arrivals for ~1 s of traffic.
+    let outcome = run_open_loop(&engine, &queries, OpenLoopConfig::new(4_000.0, 4_000));
+    killer.join().expect("chaos thread");
+    println!(
+        "load generator: offered {} arrivals ({:.0} QPS), {} accepted, {} rejected at the queue, {} deadline-shed, {} failed",
+        outcome.offered,
+        outcome.offered_qps,
+        outcome.accepted,
+        outcome.shed,
+        outcome.deadline_shed,
+        outcome.failed
+    );
+
+    // 5. Report: failovers, goodput and the latency tail, per replica.
+    let report = engine.shutdown().with_replica_stats(&[stats]);
+    println!("\n{}", report.summary());
+    println!(
+        "  goodput {:.0} QPS | failovers {} | injected faults {}",
+        report.goodput_qps,
+        report.failover_count,
+        handles.iter().map(|h| h.injected_faults()).sum::<u64>()
+    );
+    for r in &report.replicas {
+        println!(
+            "  replica {}: {} queries, {} errors, {} quarantines, utilization {:.1}%, {}",
+            r.replica,
+            r.completed_queries,
+            r.errors,
+            r.quarantines,
+            r.utilization * 100.0,
+            if r.healthy {
+                "in rotation"
+            } else {
+                "quarantined"
+            }
+        );
+    }
+
+    assert!(
+        report.failover_count > 0,
+        "the killed replica must have caused failovers"
+    );
+    assert!(report.goodput_qps > 0.0, "goodput must survive the fault");
+    assert!(
+        report.p99_us.is_finite() && report.p99_us > 0.0,
+        "p99 must stay bounded through the fault"
+    );
+    assert_eq!(
+        report.queries + report.shed + report.failed,
+        outcome.accepted as u64,
+        "every accepted query must be accounted for"
+    );
+    println!("\nserve_failover OK");
+}

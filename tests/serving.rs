@@ -14,7 +14,8 @@ use fanns_ivf::search::search;
 use fanns_scaleout::loggp::LogGpParams;
 use fanns_serve::loadgen::{run_closed_loop, run_open_loop, OpenLoopConfig};
 use fanns_serve::{
-    shard_flat_backends, BatchPolicy, CpuBackend, EngineConfig, QueryEngine, Ticket,
+    shard_flat_backends, BatchPolicy, CpuBackend, EngineConfig, FaultInjector, FaultMode,
+    FlatBackend, QueryEngine, QueryStatus, ReplicaHealthConfig, ReplicaSet, SearchBackend, Ticket,
 };
 
 #[test]
@@ -113,6 +114,171 @@ fn generated_accelerator_serves_online() {
         .expect("accelerator reports simulated latency");
     assert!(sim_p50.is_finite() && sim_p50 > 0.0);
     assert!(report.slo_attainment.is_some());
+}
+
+/// Builds a 3-replica set of exact flat backends over a shared index, each
+/// behind a fault injector, and returns the set with the fault handles.
+fn fault_injectable_flat_replicas(
+    db: &fanns_dataset::types::VectorDataset,
+    k: usize,
+) -> (ReplicaSet, Vec<fanns_serve::FaultHandle>) {
+    let shared: std::sync::Arc<dyn SearchBackend> =
+        Arc::new(FlatBackend::new(FlatIndex::new(db.clone()), k));
+    let mut handles = Vec::new();
+    let slots: Vec<Box<dyn SearchBackend>> = (0..3)
+        .map(|_| {
+            let (injector, handle) =
+                FaultInjector::new(Box::new(Arc::clone(&shared)) as Box<dyn SearchBackend>);
+            handles.push(handle);
+            Box::new(injector) as Box<dyn SearchBackend>
+        })
+        .collect();
+    (
+        ReplicaSet::new(slots, ReplicaHealthConfig::default(), None),
+        handles,
+    )
+}
+
+#[test]
+fn failover_preserves_ground_truth_results() {
+    // (a) With one replica killed mid-run, every completed query must still
+    // equal the sequential exact search: failover changes *where* a query
+    // runs, never *what* it answers.
+    let (db, queries) = SyntheticSpec::sift_small(2028).generate();
+    let global = FlatIndex::new(db.clone());
+    let (set, handles) = fault_injectable_flat_replicas(&db, 10);
+    let stats = set.stats();
+
+    let engine = QueryEngine::start(
+        Arc::new(set),
+        EngineConfig::new(BatchPolicy::new(4, Duration::from_micros(200))).with_workers(2),
+    );
+    let n = queries.len().min(64);
+    let mut tickets: Vec<(usize, Ticket)> = Vec::new();
+    for (i, q) in (0..n).map(|i| (i, queries.get(i))).collect::<Vec<_>>() {
+        // Kill replica 0 a third of the way through the stream.
+        if i == n / 3 {
+            handles[0].set(FaultMode::Error);
+        }
+        tickets.push((i, engine.submit(q.to_vec()).unwrap()));
+    }
+    for (i, ticket) in tickets {
+        let reply = ticket.wait().expect("reply delivered");
+        assert_eq!(reply.status, QueryStatus::Completed, "query {i}");
+        let expected = global.search(queries.get(i), 10);
+        assert_eq!(
+            reply.results, expected,
+            "query {i}: failover diverged from sequential ground truth"
+        );
+    }
+    let report = engine.shutdown().with_replica_stats(&[stats]);
+    assert_eq!(report.queries as usize, n);
+    assert_eq!(report.failed, 0, "survivors must absorb the killed replica");
+    assert!(
+        report.failover_count > 0,
+        "the killed replica must have caused failovers"
+    );
+    let killed = &report.replicas[0];
+    assert!(
+        killed.quarantines >= 1,
+        "killed replica must be quarantined"
+    );
+}
+
+#[test]
+fn shed_queries_always_resolve_their_tickets() {
+    // (b) Deadline shedding must never silently drop a query: every accepted
+    // ticket resolves with Completed or Shed, even under an impossible SLO.
+    let (db, queries) = SyntheticSpec::sift_small(2029).generate();
+    let index = IvfPqIndex::build(
+        &db,
+        &IvfPqTrainConfig::new(16)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000),
+    );
+    let engine = QueryEngine::start(
+        Arc::new(CpuBackend::new(
+            index,
+            IvfPqParams::new(16, 8, 10).with_m(16),
+        )),
+        EngineConfig::new(BatchPolicy::new(8, Duration::from_micros(100)))
+            .with_workers(1)
+            // 50 µs end-to-end SLO: essentially every query expires in queue
+            // once the service estimate warms up.
+            .with_slo_us(50.0)
+            .with_deadline_shedding()
+            .with_service_estimate_us(100.0),
+    );
+    let tickets: Vec<Ticket> = (0..300)
+        .map(|i| {
+            engine
+                .submit(queries.get(i % queries.len()).to_vec())
+                .unwrap()
+        })
+        .collect();
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    for t in tickets {
+        match t.wait().expect("every accepted ticket resolves").status {
+            QueryStatus::Completed => completed += 1,
+            QueryStatus::Shed => shed += 1,
+            QueryStatus::Failed => panic!("no backend failures in this test"),
+        }
+    }
+    assert_eq!(completed + shed, 300, "nothing may vanish");
+    assert!(shed > 0, "an impossible SLO must shed");
+    let report = engine.shutdown();
+    assert_eq!(report.queries, completed);
+    assert_eq!(report.shed, shed);
+}
+
+#[test]
+fn goodput_counters_reconcile_with_offered_load() {
+    // (c) The report's accounting identity: completed + shed + failed equals
+    // accepted, accepted + rejected equals offered, and goodput counts only
+    // in-SLO completions.
+    let (db, queries) = SyntheticSpec::sift_small(2030).generate();
+    let (set, handles) = fault_injectable_flat_replicas(&db, 10);
+    let stats = set.stats();
+    // Flaky replicas: every 25th call on each replica errors, so failovers
+    // happen while most traffic completes.
+    for h in &handles {
+        h.set(FaultMode::ErrorEveryNth(25));
+    }
+    let engine = QueryEngine::start(
+        Arc::new(set),
+        EngineConfig::new(BatchPolicy::new(16, Duration::from_micros(300)))
+            .with_workers(2)
+            .with_queue_depth(64)
+            .with_slo_us(20_000.0)
+            .with_deadline_shedding(),
+    );
+    let outcome = run_open_loop(&engine, &queries, OpenLoopConfig::new(30_000.0, 1_000));
+    let report = engine.shutdown().with_replica_stats(&[stats]);
+
+    assert_eq!(outcome.offered, 1_000);
+    assert_eq!(outcome.accepted + outcome.shed, outcome.offered);
+    assert_eq!(report.rejected as usize, outcome.shed);
+    assert_eq!(
+        report.queries + report.shed + report.failed,
+        outcome.accepted as u64,
+        "every accepted query resolves exactly once"
+    );
+    assert_eq!(report.queries as usize, outcome.completed);
+    assert_eq!(report.shed as usize, outcome.deadline_shed);
+    assert_eq!(report.failed as usize, outcome.failed);
+    // Goodput can never exceed throughput, and with an SLO configured it is
+    // exactly in-SLO completions over the wall window.
+    assert!(report.goodput_qps <= report.qps + 1e-9);
+    let attainment = report.slo_attainment.expect("slo configured");
+    assert!(
+        (report.goodput_qps - attainment * report.qps).abs() <= report.qps * 1e-6 + 1e-9,
+        "goodput {} must equal attainment {} x qps {}",
+        report.goodput_qps,
+        attainment,
+        report.qps
+    );
 }
 
 #[test]
