@@ -14,6 +14,8 @@
 //! * [`baseline_cpu`] — the multithreaded batch/online CPU searcher standing
 //!   in for the paper's Faiss CPU baseline.
 
+#![warn(missing_docs)]
+
 pub mod baseline_cpu;
 pub mod flat;
 pub mod index;

@@ -16,6 +16,8 @@
 //!   OPQ rotation without pulling in a LAPACK binding,
 //! * [`distance`] — scalar L2 / inner-product kernels shared by everything.
 
+#![warn(missing_docs)]
+
 pub mod distance;
 pub mod kmeans;
 pub mod linalg;

@@ -76,6 +76,16 @@ pub struct DistanceTable {
 }
 
 impl DistanceTable {
+    /// Builds a table directly from a flat row-major `m × ksub` buffer
+    /// (tests and caches that reconstruct tables without a quantizer).
+    ///
+    /// # Panics
+    /// Panics if `table.len() != m * ksub`.
+    pub fn from_flat(m: usize, ksub: usize, table: Vec<f32>) -> Self {
+        assert_eq!(table.len(), m * ksub, "table must be m x ksub entries");
+        Self { m, ksub, table }
+    }
+
     /// Number of sub-quantizers (rows).
     pub fn m(&self) -> usize {
         self.m

@@ -17,7 +17,12 @@ use fanns_codegen::plan::{instantiate, AcceleratorPlan};
 use fanns_ivf::flat::FlatIndex;
 use fanns_ivf::index::IvfPqIndex;
 use fanns_ivf::params::IvfPqParams;
-use fanns_ivf::search::{search, SearchResult};
+use fanns_ivf::search::{
+    search, stage_build_lut, stage_ivf_dist, stage_opq, stage_scan_and_select, stage_sel_cells,
+    SearchResult,
+};
+
+use crate::cache::CentroidLutCache;
 
 /// One backend answer: the top-K hits plus, for simulated hardware, the
 /// modelled device latency (µs) for this query.
@@ -116,6 +121,10 @@ impl<T: SearchBackend + ?Sized> SearchBackend for std::sync::Arc<T> {
 pub struct CpuBackend {
     index: IvfPqIndex,
     params: IvfPqParams,
+    /// Optional hot-cell centroid/LUT cache: memoizes the coarse-quantizer
+    /// stages (OPQ + IVFDist + SelCells) and the ADC lookup table per
+    /// distinct query, leaving only the inverted-list scan on a hit.
+    lut_cache: Option<CentroidLutCache>,
 }
 
 impl CpuBackend {
@@ -130,7 +139,27 @@ impl CpuBackend {
             "params.nlist must match the index"
         );
         assert_eq!(params.m, index.m(), "params.m must match the index");
-        Self { index, params }
+        Self {
+            index,
+            params,
+            lut_cache: None,
+        }
+    }
+
+    /// Builder-style switch for the hot-cell centroid-distance cache (see
+    /// [`CentroidLutCache`]): up to `capacity` distinct queries keep their
+    /// probe-cell selection and ADC lookup table memoized, so a repeated
+    /// query skips straight to the inverted-list scan. Results are
+    /// bit-identical with or without the cache — entries are keyed on the
+    /// exact query and the index is immutable for the backend's lifetime.
+    pub fn with_centroid_cache(mut self, capacity: usize) -> Self {
+        self.lut_cache = Some(CentroidLutCache::new(capacity, self.index.nlist()));
+        self
+    }
+
+    /// The centroid/LUT cache, when enabled (hit/miss stats, hot cells).
+    pub fn centroid_cache(&self) -> Option<&CentroidLutCache> {
+        self.lut_cache.as_ref()
     }
 
     /// The bound parameters.
@@ -142,12 +171,37 @@ impl CpuBackend {
     pub fn index(&self) -> &IvfPqIndex {
         &self.index
     }
+
+    /// One query through the cached pipeline: reuse (or compute and memoize)
+    /// the probe cells + LUT, then scan. Stage order and arithmetic match
+    /// [`fanns_ivf::search::search`] exactly.
+    fn search_cached(&self, cache: &CentroidLutCache, query: &[f32]) -> Vec<SearchResult> {
+        let entry = match cache.get(query) {
+            Some(entry) => entry,
+            None => {
+                let rotated = stage_opq(&self.index, query);
+                let dists = stage_ivf_dist(&self.index, &rotated);
+                let cells = stage_sel_cells(&dists, self.params.effective_nprobe());
+                let lut = stage_build_lut(&self.index, &rotated);
+                let entry = std::sync::Arc::new((cells, lut));
+                cache.insert(query, std::sync::Arc::clone(&entry));
+                entry
+            }
+        };
+        let (cells, lut) = (&entry.0, &entry.1);
+        cache.record_probes(cells);
+        stage_scan_and_select(&self.index, cells, lut, self.params.k)
+    }
 }
 
 impl SearchBackend for CpuBackend {
     fn name(&self) -> String {
+        let cache = match &self.lut_cache {
+            Some(_) => ", lut-cache",
+            None => "",
+        };
         format!(
-            "cpu-ivfpq({}, nprobe={})",
+            "cpu-ivfpq({}, nprobe={}{cache})",
             self.params.index_label(),
             self.params.effective_nprobe()
         )
@@ -165,12 +219,15 @@ impl SearchBackend for CpuBackend {
         queries
             .iter()
             .map(|q| BackendResponse {
-                results: search(
-                    &self.index,
-                    q,
-                    self.params.k,
-                    self.params.effective_nprobe(),
-                ),
+                results: match &self.lut_cache {
+                    Some(cache) => self.search_cached(cache, q),
+                    None => search(
+                        &self.index,
+                        q,
+                        self.params.k,
+                        self.params.effective_nprobe(),
+                    ),
+                },
                 simulated_us: None,
             })
             .collect()
@@ -314,6 +371,31 @@ mod tests {
             assert_eq!(&resp.results, expect);
             assert!(resp.simulated_us.is_none());
         }
+    }
+
+    #[test]
+    fn centroid_cache_preserves_results_and_counts_hits() {
+        let (queries, index) = small_index();
+        let params = IvfPqParams::new(16, 4, 10).with_m(16);
+        let plain = CpuBackend::new(index.clone(), params);
+        let cached = CpuBackend::new(index, params).with_centroid_cache(32);
+        assert!(cached.name().contains("lut-cache"));
+
+        let qs: Vec<&[f32]> = (0..6).map(|i| queries.get(i % 3)).collect();
+        let expected = plain.search_batch(&qs);
+        // Run the replayed batch twice: cold fills, warm hits.
+        for _ in 0..2 {
+            let got = cached.search_batch(&qs);
+            assert_eq!(got, expected, "cached path must be bit-identical");
+        }
+        let stats = cached.centroid_cache().expect("cache enabled").stats();
+        // 12 lookups over 3 distinct queries: 3 misses, 9 hits.
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 9);
+        assert_eq!(stats.insertions, 3);
+        let hot = cached.centroid_cache().unwrap().hot_cells(4);
+        assert!(!hot.is_empty(), "probed cells must be tracked");
+        assert!(hot[0].1 >= hot.last().unwrap().1, "hottest first");
     }
 
     #[test]

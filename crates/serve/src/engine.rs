@@ -42,7 +42,8 @@ use std::time::{Duration, Instant};
 use fanns_ivf::search::SearchResult;
 
 use crate::backend::SearchBackend;
-use crate::metrics::{MetricsCollector, ServeReport};
+use crate::cache::{CacheKey, QueryResultCache};
+use crate::metrics::{CacheReport, MetricsCollector, ServeReport};
 
 /// Order in which the batcher picks pending queries into a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -282,6 +283,10 @@ struct Request {
     submitted: Instant,
     /// Absolute deadline (from the SLO or an explicit budget), when known.
     deadline: Option<Instant>,
+    /// The query's result-cache key, when the engine has a cache and the
+    /// lookup missed — the worker fills the cache under this key once the
+    /// backend answers.
+    cache_key: Option<CacheKey>,
     reply_tx: std::sync::mpsc::Sender<QueryReply>,
 }
 
@@ -317,13 +322,24 @@ pub struct QueryEngine {
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<Mutex<MetricsCollector>>,
     estimate: Arc<ServiceEstimate>,
+    cache: Option<Arc<QueryResultCache>>,
     backend_name: String,
     dim: usize,
     k: usize,
     config: EngineConfig,
     next_id: AtomicU64,
     rejected: AtomicU64,
+    cache_misses: AtomicU64,
     started: Instant,
+}
+
+/// The outcome of admitting one query: either the cache answered it on the
+/// spot, or a request is ready for the submit queue.
+enum Admission {
+    /// Result-cache hit — the ticket's reply is already delivered.
+    Resolved(Ticket),
+    /// Cache miss (or no cache): enqueue the request.
+    Enqueue(Request, Ticket),
 }
 
 impl QueryEngine {
@@ -355,6 +371,21 @@ impl QueryEngine {
     /// assert_eq!(report.queries, 1);
     /// ```
     pub fn start(backend: Arc<dyn SearchBackend>, config: EngineConfig) -> Self {
+        Self::start_with_cache(backend, config, None)
+    }
+
+    /// Starts the engine with a result cache in front of admission: every
+    /// submission consults `cache` first, and a hit resolves the ticket as
+    /// [`QueryStatus::Completed`] immediately — no queueing, no batching, no
+    /// backend work, and none of the query's deadline budget consumed.
+    /// Workers fill the cache as backend answers complete. The cache may be
+    /// shared across engines (e.g. across an index swap — call
+    /// [`QueryResultCache::invalidate_all`] when the backend changes).
+    pub fn start_with_cache(
+        backend: Arc<dyn SearchBackend>,
+        config: EngineConfig,
+        cache: Option<Arc<QueryResultCache>>,
+    ) -> Self {
         let (submit_tx, submit_rx) = sync_channel::<Request>(config.queue_depth);
         // A shallow batch queue: enough to keep workers busy, small enough
         // that backpressure reaches the admission queue quickly.
@@ -393,10 +424,11 @@ impl QueryEngine {
                 let batch_rx = Arc::clone(&batch_rx);
                 let metrics = Arc::clone(&metrics);
                 let estimate = Arc::clone(&estimate);
+                let cache = cache.clone();
                 let slo_us = config.slo_us;
                 std::thread::Builder::new()
                     .name(format!("fanns-serve-worker-{w}"))
-                    .spawn(move || run_worker(backend, batch_rx, metrics, estimate, slo_us))
+                    .spawn(move || run_worker(backend, batch_rx, metrics, estimate, cache, slo_us))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -407,12 +439,14 @@ impl QueryEngine {
             workers,
             metrics,
             estimate,
+            cache,
             backend_name: backend.name(),
             dim: backend.dim(),
             k: backend.k(),
             config,
             next_id: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -432,32 +466,60 @@ impl QueryEngine {
         self.config
     }
 
-    fn make_request(
-        &self,
-        query: Vec<f32>,
-        budget: Option<Duration>,
-    ) -> Result<(Request, Ticket), SubmitError> {
+    /// Validates a submission and consults the result cache: a hit resolves
+    /// the ticket on the caller's thread (no admission, no deadline budget
+    /// consumed); a miss yields a queue-ready request carrying its cache key.
+    fn admit(&self, query: Vec<f32>, budget: Option<Duration>) -> Result<Admission, SubmitError> {
         if query.len() != self.dim {
             return Err(SubmitError::DimensionMismatch {
                 expected: self.dim,
                 found: query.len(),
             });
         }
+        let submitted = Instant::now();
+        let mut cache_key = None;
+        if let Some(cache) = &self.cache {
+            let key = cache.key(&query);
+            if let Some(results) = cache.get(&key) {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let wall_us = submitted.elapsed().as_secs_f64() * 1e6;
+                {
+                    let mut collector = self.metrics.lock().expect("metrics lock");
+                    collector.record_cache_hit(wall_us, self.config.slo_us);
+                }
+                // The send cannot fail: the receiver is alive in our hands.
+                let _ = reply_tx.send(QueryReply {
+                    id,
+                    status: QueryStatus::Completed,
+                    results,
+                    latency_us: wall_us,
+                    queue_us: 0.0,
+                    batch_size: 0,
+                    simulated_us: None,
+                });
+                return Ok(Admission::Resolved(Ticket { id, rx: reply_rx }));
+            }
+            // Lock-free miss counting keeps the (common) miss path off the
+            // metrics mutex — only hits pay for it, for the histogram.
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            cache_key = Some(key);
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        let submitted = Instant::now();
         // Explicit budget wins; otherwise the SLO sets the deadline.
         let deadline = budget.map(|b| submitted + b).or_else(|| {
             self.config
                 .slo_us
                 .map(|slo| submitted + Duration::from_secs_f64(slo / 1e6))
         });
-        Ok((
+        Ok(Admission::Enqueue(
             Request {
                 id,
                 query,
                 submitted,
                 deadline,
+                cache_key,
                 reply_tx,
             },
             Ticket { id, rx: reply_rx },
@@ -476,30 +538,43 @@ impl QueryEngine {
         }
     }
 
+    /// Blocking enqueue of an admitted request (closed-loop clients).
+    fn enqueue_blocking(&self, request: Request, ticket: Ticket) -> Result<Ticket, SubmitError> {
+        let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        tx.send(request).map_err(|_| SubmitError::ShuttingDown)?;
+        Ok(ticket)
+    }
+
     /// Non-blocking submission; fails fast under backpressure. The query's
-    /// deadline, if any, derives from the configured SLO.
+    /// deadline, if any, derives from the configured SLO. A result-cache hit
+    /// resolves immediately and never touches the queue.
     pub fn try_submit(&self, query: Vec<f32>) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(query, None)?;
-        self.push(request, ticket)
+        match self.admit(query, None)? {
+            Admission::Resolved(ticket) => Ok(ticket),
+            Admission::Enqueue(request, ticket) => self.push(request, ticket),
+        }
     }
 
     /// Non-blocking submission with an explicit latency budget: the query's
     /// absolute deadline is `now + budget`, overriding the SLO-derived one.
+    /// A result-cache hit resolves immediately regardless of the budget.
     pub fn try_submit_with_budget(
         &self,
         query: Vec<f32>,
         budget: Duration,
     ) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(query, Some(budget))?;
-        self.push(request, ticket)
+        match self.admit(query, Some(budget))? {
+            Admission::Resolved(ticket) => Ok(ticket),
+            Admission::Enqueue(request, ticket) => self.push(request, ticket),
+        }
     }
 
     /// Blocking submission; waits for queue space (closed-loop clients).
     pub fn submit(&self, query: Vec<f32>) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(query, None)?;
-        let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
-        tx.send(request).map_err(|_| SubmitError::ShuttingDown)?;
-        Ok(ticket)
+        match self.admit(query, None)? {
+            Admission::Resolved(ticket) => Ok(ticket),
+            Admission::Enqueue(request, ticket) => self.enqueue_blocking(request, ticket),
+        }
     }
 
     /// Blocking submission with an explicit latency budget (see
@@ -509,10 +584,10 @@ impl QueryEngine {
         query: Vec<f32>,
         budget: Duration,
     ) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(query, Some(budget))?;
-        let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
-        tx.send(request).map_err(|_| SubmitError::ShuttingDown)?;
-        Ok(ticket)
+        match self.admit(query, Some(budget))? {
+            Admission::Resolved(ticket) => Ok(ticket),
+            Admission::Enqueue(request, ticket) => self.enqueue_blocking(request, ticket),
+        }
     }
 
     /// Queries rejected by backpressure so far.
@@ -526,16 +601,29 @@ impl QueryEngine {
         self.estimate.get_us()
     }
 
+    /// The result cache the engine consults, if one is attached.
+    pub fn cache(&self) -> Option<&Arc<QueryResultCache>> {
+        self.cache.as_ref()
+    }
+
     /// A point-in-time report over everything completed so far.
     pub fn report(&self) -> ServeReport {
         let collector = self.metrics.lock().expect("metrics lock");
-        ServeReport::from_collector(
+        let report = ServeReport::from_collector(
             self.backend_name.clone(),
             &collector,
             self.started.elapsed().as_secs_f64(),
             self.rejected.load(Ordering::Relaxed),
             self.config.slo_us,
-        )
+        );
+        match &self.cache {
+            Some(cache) => report.with_cache_report(CacheReport::new(
+                &collector,
+                &cache.stats(),
+                self.cache_misses.load(Ordering::Relaxed),
+            )),
+            None => report,
+        }
     }
 
     /// Graceful shutdown: stops admissions, drains queued queries, joins all
@@ -552,13 +640,21 @@ impl QueryEngine {
         }
         let wall_seconds = self.started.elapsed().as_secs_f64();
         let collector = self.metrics.lock().expect("metrics lock");
-        ServeReport::from_collector(
+        let report = ServeReport::from_collector(
             self.backend_name.clone(),
             &collector,
             wall_seconds,
             self.rejected.load(Ordering::Relaxed),
             self.config.slo_us,
-        )
+        );
+        match &self.cache {
+            Some(cache) => report.with_cache_report(CacheReport::new(
+                &collector,
+                &cache.stats(),
+                self.cache_misses.load(Ordering::Relaxed),
+            )),
+            None => report,
+        }
     }
 }
 
@@ -692,6 +788,7 @@ fn run_worker(
     batch_rx: Arc<Mutex<Receiver<Vec<Request>>>>,
     metrics: Arc<Mutex<MetricsCollector>>,
     estimate: Arc<ServiceEstimate>,
+    cache: Option<Arc<QueryResultCache>>,
     slo_us: Option<f64>,
 ) {
     loop {
@@ -740,12 +837,30 @@ fn run_worker(
         estimate.observe_us(service_us / batch_size.max(1) as f64);
 
         let completed = Instant::now();
-        let mut collector = metrics.lock().expect("metrics lock");
-        collector.record_batch(batch_size, service_us);
+        {
+            // Metrics only under the shared lock; cache fills and reply
+            // sends (clones, cache-shard locks) happen after it is released
+            // so submitters and sibling workers are not serialized behind
+            // this batch's delivery.
+            let mut collector = metrics.lock().expect("metrics lock");
+            collector.record_batch(batch_size, service_us);
+            for (request, response) in batch.iter().zip(&responses) {
+                let wall_us = (completed - request.submitted).as_secs_f64() * 1e6;
+                let queue_us = (service_start - request.submitted).as_secs_f64() * 1e6;
+                collector.record_query(wall_us, queue_us, response.simulated_us, slo_us);
+            }
+        }
         for (request, response) in batch.into_iter().zip(responses) {
             let wall_us = (completed - request.submitted).as_secs_f64() * 1e6;
             let queue_us = (service_start - request.submitted).as_secs_f64() * 1e6;
-            collector.record_query(wall_us, queue_us, response.simulated_us, slo_us);
+            // Fill the result cache so the next identical query short-
+            // circuits at admission — before the reply is delivered, so a
+            // client that waits on its ticket and resubmits the same query
+            // is guaranteed a hit. The insert checks the key's generation,
+            // so an answer computed against a since-swapped index is dropped.
+            if let (Some(cache), Some(key)) = (&cache, &request.cache_key) {
+                cache.insert(key, response.results.clone());
+            }
             // The client may have dropped its ticket; that is fine.
             let _ = request.reply_tx.send(QueryReply {
                 id: request.id,
@@ -1109,6 +1224,122 @@ mod tests {
             "estimate must reflect the ~2 ms service time: {est}"
         );
         engine.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_skip_the_backend_entirely() {
+        use crate::cache::{QueryResultCache, ResultCacheConfig};
+        use std::sync::atomic::AtomicUsize;
+
+        /// Counts every query that reaches the backend.
+        struct CountingBackend {
+            served: AtomicUsize,
+        }
+        impl SearchBackend for CountingBackend {
+            fn name(&self) -> String {
+                "counting".into()
+            }
+            fn dim(&self) -> usize {
+                2
+            }
+            fn k(&self) -> usize {
+                1
+            }
+            fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+                self.served.fetch_add(queries.len(), Ordering::Relaxed);
+                queries
+                    .iter()
+                    .map(|q| BackendResponse {
+                        results: vec![SearchResult {
+                            id: q[0] as u32,
+                            distance: q[0],
+                        }],
+                        simulated_us: None,
+                    })
+                    .collect()
+            }
+        }
+
+        let backend = Arc::new(CountingBackend {
+            served: AtomicUsize::new(0),
+        });
+        let cache = Arc::new(QueryResultCache::new(ResultCacheConfig::new(64)));
+        let engine = QueryEngine::start_with_cache(
+            Arc::clone(&backend) as Arc<dyn SearchBackend>,
+            EngineConfig::new(BatchPolicy::new(4, Duration::from_micros(100))).with_workers(2),
+            Some(Arc::clone(&cache)),
+        );
+        // Warm: 8 distinct queries reach the backend.
+        for i in 0..8 {
+            let reply = engine.submit(vec![i as f32, 0.0]).unwrap().wait().unwrap();
+            assert_eq!(reply.status, QueryStatus::Completed);
+        }
+        let after_warm = backend.served.load(Ordering::Relaxed);
+        assert_eq!(after_warm, 8);
+        // Replay: identical queries must be served from the cache with the
+        // same results and zero additional backend work.
+        for i in 0..8 {
+            let reply = engine.submit(vec![i as f32, 0.0]).unwrap().wait().unwrap();
+            assert_eq!(reply.status, QueryStatus::Completed);
+            assert_eq!(reply.results[0].id, i as u32);
+            assert_eq!(reply.batch_size, 0, "hits never join a batch");
+        }
+        assert_eq!(
+            backend.served.load(Ordering::Relaxed),
+            after_warm,
+            "replayed queries must not reach the backend"
+        );
+        let report = engine.shutdown();
+        assert_eq!(report.queries, 16, "hits count as completed queries");
+        let cache_report = report.cache.expect("cache section present");
+        assert_eq!(cache_report.hits, 8);
+        assert_eq!(cache_report.misses, 8);
+        assert!((cache_report.hit_rate - 0.5).abs() < 1e-12);
+        assert!(cache_report.hit_p50_us >= 0.0);
+        assert_eq!(cache_report.insertions, 8);
+    }
+
+    #[test]
+    fn cache_hits_do_not_consume_deadline_budget() {
+        use crate::cache::{QueryResultCache, ResultCacheConfig};
+        // Slow backend + aggressive shedding: a warm cache must answer even
+        // queries whose budget is far below the modeled service time.
+        let cache = Arc::new(QueryResultCache::new(ResultCacheConfig::new(16)));
+        let engine = QueryEngine::start_with_cache(
+            Arc::new(ToyBackend {
+                dim: 2,
+                k: 1,
+                service: Duration::from_millis(5),
+            }),
+            EngineConfig::new(BatchPolicy::new(1, Duration::ZERO))
+                .with_workers(1)
+                .with_slo_us(1_000_000.0)
+                .with_deadline_shedding()
+                .with_service_estimate_us(5_000.0),
+            Some(Arc::clone(&cache)),
+        );
+        // Warm the cache with a generous budget.
+        let reply = engine
+            .submit_with_budget(vec![3.0, 0.0], Duration::from_secs(60))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(reply.status, QueryStatus::Completed);
+        // A 1 µs budget is impossible for the 5 ms backend — but the hit
+        // path never consults the deadline.
+        let reply = engine
+            .submit_with_budget(vec![3.0, 0.0], Duration::from_micros(1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            reply.status,
+            QueryStatus::Completed,
+            "a cache hit must resolve without consuming deadline budget"
+        );
+        let report = engine.shutdown();
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.cache.expect("cache section").hits, 1);
     }
 
     #[test]

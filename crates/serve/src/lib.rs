@@ -8,6 +8,10 @@
 //! * [`backend`] — the [`SearchBackend`] trait plus executors: the CPU
 //!   IVF-PQ searcher, the generated accelerator (cycle-level simulator, which
 //!   also reports modelled device latency), and an exact flat reference,
+//! * [`cache`] — the sharded LRU query-result cache the engine consults
+//!   before admission (exact / quantized / cell-signature fingerprints,
+//!   TTL + generation invalidation) and the centroid/LUT cache inside the
+//!   CPU backend that memoizes coarse-quantizer work for repeated queries,
 //! * [`engine`] — the multi-threaded [`QueryEngine`]: bounded admission
 //!   queue, dynamic batcher (max-batch-size / max-wait), deadline-aware
 //!   early shedding and earliest-deadline-first pickup, worker pool,
@@ -54,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod dispatch;
 pub mod engine;
 pub mod fault;
@@ -64,6 +69,9 @@ pub mod replica;
 pub use backend::{
     AcceleratorBackend, BackendError, BackendResponse, CpuBackend, FlatBackend, SearchBackend,
 };
+pub use cache::{
+    CacheStats, CentroidLutCache, FingerprintMode, LutEntry, QueryResultCache, ResultCacheConfig,
+};
 pub use dispatch::{
     shard_cpu_backends, shard_flat_backends, shard_replicated_cpu_backends, ShardedBackend,
 };
@@ -72,6 +80,8 @@ pub use engine::{
     SubmitError, Ticket,
 };
 pub use fault::{FaultHandle, FaultInjector, FaultMode};
-pub use loadgen::{run_closed_loop, run_open_loop, LoadgenOutcome, OpenLoopConfig};
-pub use metrics::{LatencyHistogram, ServeReport};
+pub use loadgen::{
+    run_closed_loop, run_open_loop, LoadgenOutcome, OpenLoopConfig, QueryPopularity, ZipfSampler,
+};
+pub use metrics::{CacheReport, LatencyHistogram, ServeReport};
 pub use replica::{ReplicaHealthConfig, ReplicaSet, ReplicaSetStats, ReplicaSnapshot};

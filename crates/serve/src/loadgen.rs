@@ -9,6 +9,11 @@
 //! * **Closed loop** ([`run_closed_loop`]): a fixed number of in-flight
 //!   requests, each replaced on completion — the classic
 //!   "N concurrent clients" throughput measurement.
+//!
+//! Arrivals pick their query vector through a [`QueryPopularity`] policy:
+//! the default round-robin replay, or a [`ZipfSampler`]-driven skewed draw
+//! from the finite query pool — the workload shape that makes result-cache
+//! hit rates measurable against the skew parameter θ.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -19,6 +24,23 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::engine::{QueryEngine, QueryStatus, SubmitError, Ticket};
 
+/// How each arrival picks its query vector from the finite query pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryPopularity {
+    /// Cycle through the pool in order (`arrival i` → `query i mod pool`):
+    /// every query is equally popular and repeats are maximally spaced.
+    RoundRobin,
+    /// Draw each arrival independently from a Zipf(θ) popularity law over
+    /// the pool: rank r is picked with probability ∝ 1/(r+1)^θ. θ = 0 is
+    /// uniform; real search traffic is typically θ ≈ 0.6–1.1. The mapping
+    /// from popularity rank to query index is a seeded shuffle, so "the hot
+    /// query" is not always pool entry 0.
+    Zipf {
+        /// The skew exponent θ (≥ 0).
+        theta: f64,
+    },
+}
+
 /// Open-loop generator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpenLoopConfig {
@@ -26,17 +48,21 @@ pub struct OpenLoopConfig {
     pub target_qps: f64,
     /// Number of arrivals to generate.
     pub num_queries: usize,
-    /// RNG seed for the Poisson arrival process.
+    /// RNG seed for the Poisson arrival process (and the popularity draw).
     pub seed: u64,
+    /// How arrivals pick their query from the pool.
+    pub popularity: QueryPopularity,
 }
 
 impl OpenLoopConfig {
-    /// A generator at `target_qps` for `num_queries` arrivals.
+    /// A generator at `target_qps` for `num_queries` arrivals, replaying the
+    /// pool round-robin.
     pub fn new(target_qps: f64, num_queries: usize) -> Self {
         Self {
             target_qps,
             num_queries,
             seed: 0x10AD_0001,
+            popularity: QueryPopularity::RoundRobin,
         }
     }
 
@@ -44,6 +70,81 @@ impl OpenLoopConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style switch to Zipf(θ)-skewed query popularity.
+    pub fn with_zipf(mut self, theta: f64) -> Self {
+        self.popularity = QueryPopularity::Zipf { theta };
+        self
+    }
+}
+
+/// A seeded Zipf(θ) sampler over a finite pool of `n` items.
+///
+/// Rank `r ∈ [0, n)` is drawn with probability `(r+1)^-θ / H` (`H` the
+/// generalised harmonic normaliser) by inverse-CDF binary search, then
+/// mapped through a seeded permutation so popularity ranks are spread over
+/// the pool rather than concentrated at its front.
+///
+/// ```
+/// use fanns_serve::loadgen::ZipfSampler;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let zipf = ZipfSampler::new(100, 1.0, 42);
+/// let mut rng = ChaCha8Rng::seed_from_u64(7);
+/// let idx = zipf.sample(&mut rng);
+/// assert!(idx < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probability of ranks `0..=i` at entry `i`.
+    cdf: Vec<f64>,
+    /// Popularity rank → query-pool index.
+    perm: Vec<usize>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `pool` items with skew `theta` (θ = 0 is uniform).
+    ///
+    /// # Panics
+    /// Panics if `pool` is 0 or `theta` is negative/non-finite.
+    pub fn new(pool: usize, theta: f64, seed: u64) -> Self {
+        assert!(pool > 0, "Zipf pool must be non-empty");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf theta must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(pool);
+        let mut acc = 0.0f64;
+        for rank in 0..pool {
+            acc += ((rank + 1) as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Seeded Fisher–Yates: decouple popularity rank from pool position.
+        let mut perm: Vec<usize> = (0..pool).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x21F5_AB1E);
+        for i in (1..pool).rev() {
+            let j = rng.gen_range(0..i + 1);
+            perm.swap(i, j);
+        }
+        Self { cdf, perm }
+    }
+
+    /// Pool size.
+    pub fn pool(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Draws one pool index (consumes one uniform draw from `rng`).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        self.perm[rank]
     }
 }
 
@@ -84,9 +185,10 @@ fn tally(ticket: Ticket, completed: &mut usize, deadline_shed: &mut usize, faile
     }
 }
 
-/// Drives a Poisson arrival process against the engine. Queries cycle
-/// through `queries`; each arrival is submitted non-blocking and sheds on
-/// backpressure. Returns once every accepted query has completed.
+/// Drives a Poisson arrival process against the engine. Each arrival picks
+/// its query per `config.popularity` (round-robin replay or a Zipf(θ) draw
+/// from the pool), is submitted non-blocking, and sheds on backpressure.
+/// Returns once every accepted query has completed.
 pub fn run_open_loop(
     engine: &QueryEngine,
     queries: &QuerySet,
@@ -95,6 +197,12 @@ pub fn run_open_loop(
     assert!(config.target_qps > 0.0, "target QPS must be positive");
     assert!(!queries.is_empty(), "need at least one query vector");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let zipf = match config.popularity {
+        QueryPopularity::RoundRobin => None,
+        QueryPopularity::Zipf { theta } => {
+            Some(ZipfSampler::new(queries.len(), theta, config.seed))
+        }
+    };
     let mut tickets: Vec<Ticket> = Vec::with_capacity(config.num_queries);
     let mut shed = 0usize;
 
@@ -109,7 +217,11 @@ pub fn run_open_loop(
         if next_arrival > now {
             std::thread::sleep(next_arrival - now);
         }
-        let query = queries.get(i % queries.len()).to_vec();
+        let pool_index = match &zipf {
+            Some(z) => z.sample(&mut rng),
+            None => i % queries.len(),
+        };
+        let query = queries.get(pool_index).to_vec();
         match engine.try_submit(query) {
             Ok(t) => tickets.push(t),
             Err(SubmitError::QueueFull) => shed += 1,
@@ -232,6 +344,66 @@ mod tests {
             2,
             (0..8).map(|i| [i as f32, 1.0]),
         ))
+    }
+
+    #[test]
+    fn zipf_sampler_concentrates_mass_as_theta_grows() {
+        let draws = 20_000usize;
+        let pool = 64usize;
+        let top_share = |theta: f64| -> f64 {
+            let zipf = ZipfSampler::new(pool, theta, 11);
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let mut counts = vec![0u64; pool];
+            for _ in 0..draws {
+                counts[zipf.sample(&mut rng)] += 1;
+            }
+            *counts.iter().max().unwrap() as f64 / draws as f64
+        };
+        let uniform = top_share(0.0);
+        let mild = top_share(0.8);
+        let heavy = top_share(1.4);
+        // θ = 0 is uniform: the hottest item holds ~1/64 of the mass.
+        assert!(
+            uniform < 3.0 / pool as f64,
+            "uniform top share too large: {uniform}"
+        );
+        assert!(
+            uniform < mild && mild < heavy,
+            "skew must concentrate mass: {uniform} -> {mild} -> {heavy}"
+        );
+        // Zipf(1.4) over 64 items gives the top item ~37% of the mass.
+        assert!(heavy > 0.25, "heavy skew top share too small: {heavy}");
+    }
+
+    #[test]
+    fn zipf_sampler_is_deterministic_and_in_range() {
+        let zipf = ZipfSampler::new(10, 1.0, 5);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let a = draw(3);
+        assert_eq!(a, draw(3), "same seed must reproduce the stream");
+        assert!(a.iter().all(|&i| i < 10));
+        assert_eq!(zipf.pool(), 10);
+    }
+
+    #[test]
+    fn open_loop_zipf_repeats_queries() {
+        // With heavy skew over a small pool, the arrival stream must contain
+        // many repeats (the property result caching exploits).
+        let engine = QueryEngine::start(
+            Arc::new(EchoBackend),
+            EngineConfig::new(BatchPolicy::new(8, Duration::from_micros(200))),
+        );
+        let outcome = run_open_loop(
+            &engine,
+            &tiny_queries(),
+            OpenLoopConfig::new(50_000.0, 200).with_zipf(1.2),
+        );
+        assert_eq!(outcome.accepted + outcome.shed, 200);
+        assert_eq!(outcome.completed, outcome.accepted);
+        engine.shutdown();
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+use crate::cache::CacheStats;
 use crate::replica::{ReplicaSetStats, ReplicaSnapshot};
 
 /// EWMA smoothing factor shared by every service-time model in this crate
@@ -229,6 +230,15 @@ pub struct MetricsCollector {
     pub shed: u64,
     /// Queries whose batch failed on the backend (resolved without results).
     pub failed: u64,
+    /// End-to-end wall latency of cache-hit completions, µs. Hits are kept
+    /// out of `wall` so the headline percentiles keep measuring the backend
+    /// (cache-miss) path; hit latency is reported alongside in the report's
+    /// cache section.
+    pub cache_hit_wall: LatencyHistogram,
+    /// Queries answered from the result cache at submission. (Misses are
+    /// counted lock-free on the engine so the common path never takes this
+    /// collector's lock just to bump a counter.)
+    pub cache_hits: u64,
 }
 
 impl MetricsCollector {
@@ -268,6 +278,80 @@ impl MetricsCollector {
     /// Records `n` queries that failed on the backend.
     pub fn record_failed(&mut self, n: u64) {
         self.failed += n;
+    }
+
+    /// Records one query answered from the result cache: it counts as a
+    /// completed (and, trivially, in-SLO) query, but its latency lands in
+    /// the cache-hit histogram rather than the backend-path one.
+    pub fn record_cache_hit(&mut self, wall_us: f64, slo_us: Option<f64>) {
+        self.cache_hit_wall.record(wall_us);
+        if let Some(slo) = slo_us {
+            if wall_us <= slo {
+                self.slo_hits += 1;
+            }
+        }
+        self.completed += 1;
+        self.cache_hits += 1;
+    }
+}
+
+/// The cache section of a [`ServeReport`]: engine-observed hit/miss traffic
+/// and latency, combined with the cache's own lifetime counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheReport {
+    /// Queries this engine answered from the cache.
+    pub hits: u64,
+    /// Submissions that consulted the cache and fell through.
+    pub misses: u64,
+    /// `hits / (hits + misses)` for this engine's traffic.
+    pub hit_rate: f64,
+    /// Median end-to-end latency of cache-hit completions (µs).
+    pub hit_p50_us: f64,
+    /// 99th-percentile latency of cache-hit completions (µs).
+    pub hit_p99_us: f64,
+    /// Median end-to-end latency of backend-path (cache-miss) completions
+    /// (µs) — identical to the report's `p50_us`, duplicated here so a hit
+    /// vs. miss comparison needs only the cache section.
+    pub miss_p50_us: f64,
+    /// Entries written over the cache's lifetime.
+    pub insertions: u64,
+    /// Entries evicted by LRU capacity pressure over the cache's lifetime.
+    pub evictions: u64,
+    /// Entries dropped for outliving the TTL.
+    pub expirations: u64,
+    /// Entries dropped by generation invalidation.
+    pub invalidated: u64,
+    /// Entries resident when the report was taken.
+    pub entries: usize,
+    /// Total cache capacity.
+    pub capacity: usize,
+}
+
+impl CacheReport {
+    /// Combines the engine's view (hit count and latency histograms from the
+    /// collector, the lock-free per-engine miss count) with the cache's
+    /// lifetime stats (insert/evict/expire counters, occupancy, capacity —
+    /// which aggregate across every engine sharing the cache).
+    pub fn new(collector: &MetricsCollector, cache_stats: &CacheStats, misses: u64) -> Self {
+        let lookups = collector.cache_hits + misses;
+        Self {
+            hits: collector.cache_hits,
+            misses,
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                collector.cache_hits as f64 / lookups as f64
+            },
+            hit_p50_us: collector.cache_hit_wall.percentile(50.0),
+            hit_p99_us: collector.cache_hit_wall.percentile(99.0),
+            miss_p50_us: collector.wall.percentile(50.0),
+            insertions: cache_stats.insertions,
+            evictions: cache_stats.evictions,
+            expirations: cache_stats.expirations,
+            invalidated: cache_stats.invalidated,
+            entries: cache_stats.entries,
+            capacity: cache_stats.capacity,
+        }
     }
 }
 
@@ -328,6 +412,9 @@ pub struct ServeReport {
     /// Per-replica utilization snapshots, in (shard-major, replica-minor)
     /// order (empty until [`ServeReport::with_replica_stats`] is called).
     pub replicas: Vec<ReplicaSnapshot>,
+    /// Result-cache traffic and occupancy (`None` when the engine runs
+    /// without a cache).
+    pub cache: Option<CacheReport>,
 }
 
 impl ServeReport {
@@ -395,7 +482,14 @@ impl ServeReport {
             simulated_p99_us,
             failover_count: 0,
             replicas: Vec::new(),
+            cache: None,
         }
+    }
+
+    /// Attaches the cache section (see [`CacheReport::new`]).
+    pub fn with_cache_report(mut self, cache: CacheReport) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Folds live replica-set statistics into the report: sums failovers
@@ -434,8 +528,16 @@ impl ServeReport {
         } else {
             String::new()
         };
+        let cache = match &self.cache {
+            Some(c) => format!(
+                " | cache hit-rate {:.1}% (hit p50 {:.1} us)",
+                c.hit_rate * 100.0,
+                c.hit_p50_us
+            ),
+            None => String::new(),
+        };
         format!(
-            "{}: {} queries in {:.2} s -> {:.0} QPS | latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us | mean batch {:.1}{}{}{}",
+            "{}: {} queries in {:.2} s -> {:.0} QPS | latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us | mean batch {:.1}{}{}{}{cache}",
             self.backend,
             self.queries,
             self.wall_seconds,

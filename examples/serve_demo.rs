@@ -1,6 +1,7 @@
 //! Online serving demo: run the co-design workflow, put the generated
-//! accelerator behind the `QueryEngine`, and drive it with an open-loop
-//! Poisson load generator.
+//! accelerator behind the `QueryEngine` with a query-result cache in front
+//! of admission, and drive it with a Zipf-skewed open-loop Poisson load
+//! generator — the workload shape the cache is built for.
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
@@ -11,7 +12,7 @@ use std::time::Duration;
 
 use fanns::framework::{Fanns, FannsRequest};
 use fanns::serve::loadgen::{run_open_loop, OpenLoopConfig};
-use fanns::serve::{BatchPolicy, EngineConfig, QueryEngine};
+use fanns::serve::{BatchPolicy, EngineConfig, QueryEngine, QueryResultCache, ResultCacheConfig};
 use fanns_dataset::synth::SyntheticSpec;
 
 fn main() {
@@ -28,25 +29,36 @@ fn main() {
     println!("{}\n", generated.summary());
 
     // 2. Deploy: the generated accelerator becomes an online backend behind
-    //    the dynamic-batching engine, with a 2 ms end-to-end SLO.
+    //    the dynamic-batching engine, with a 2 ms end-to-end SLO and a
+    //    query-result cache in front of admission. Real traffic repeats
+    //    itself; the cache answers the hot set in ~a microsecond without
+    //    touching the accelerator.
     let backend = Arc::new(generated.into_backend());
-    let engine = QueryEngine::start(
+    let cache = Arc::new(QueryResultCache::new(ResultCacheConfig::new(128)));
+    let engine = QueryEngine::start_with_cache(
         backend,
         EngineConfig::new(BatchPolicy::new(64, Duration::from_micros(500)))
             .with_workers(2)
             .with_queue_depth(4_096)
             .with_slo_us(2_000.0),
+        Some(Arc::clone(&cache)),
     );
 
-    // 3. Serve: open-loop Poisson arrivals at a fixed offered rate.
+    // 3. Serve: open-loop Poisson arrivals at a fixed offered rate, query
+    //    popularity following Zipf(1.0) over the 256-query pool.
     let target_qps = 5_000.0;
-    let outcome = run_open_loop(&engine, &queries, OpenLoopConfig::new(target_qps, 20_000));
+    let outcome = run_open_loop(
+        &engine,
+        &queries,
+        OpenLoopConfig::new(target_qps, 20_000).with_zipf(1.0),
+    );
     println!(
         "load generator: offered {} arrivals at {:.0} QPS target ({:.0} actual), {} accepted, {} shed",
         outcome.offered, target_qps, outcome.offered_qps, outcome.accepted, outcome.shed
     );
 
-    // 4. Report: QPS plus the latency distribution and SLO attainment.
+    // 4. Report: QPS plus the latency distribution, SLO attainment, and the
+    //    cache's share of the work.
     let report = engine.shutdown();
     println!("\n{}", report.summary());
     println!(
@@ -63,11 +75,30 @@ fn main() {
             att * 100.0
         );
     }
+    let cache_report = report.cache.as_ref().expect("cache attached");
+    println!(
+        "  result cache: {} hits / {} misses ({:.1}% hit rate) | hit p50 {:.1} us vs miss p50 {:.1} us | {} entries of {}",
+        cache_report.hits,
+        cache_report.misses,
+        cache_report.hit_rate * 100.0,
+        cache_report.hit_p50_us,
+        cache_report.miss_p50_us,
+        cache_report.entries,
+        cache_report.capacity
+    );
 
     assert!(report.qps > 0.0, "demo must achieve positive throughput");
     assert!(
         report.p50_us <= report.p99_us,
         "latency percentiles must be ordered"
+    );
+    assert!(
+        cache_report.hits > 0,
+        "Zipf-skewed replay must produce cache hits"
+    );
+    assert!(
+        cache_report.hit_p50_us <= cache_report.miss_p50_us,
+        "cache hits must not be slower than the backend path"
     );
     println!("\nserve_demo OK");
 }

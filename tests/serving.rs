@@ -15,7 +15,8 @@ use fanns_scaleout::loggp::LogGpParams;
 use fanns_serve::loadgen::{run_closed_loop, run_open_loop, OpenLoopConfig};
 use fanns_serve::{
     shard_flat_backends, BatchPolicy, CpuBackend, EngineConfig, FaultInjector, FaultMode,
-    FlatBackend, QueryEngine, QueryStatus, ReplicaHealthConfig, ReplicaSet, SearchBackend, Ticket,
+    FlatBackend, QueryEngine, QueryResultCache, QueryStatus, ReplicaHealthConfig, ReplicaSet,
+    ResultCacheConfig, SearchBackend, Ticket,
 };
 
 #[test]
@@ -278,6 +279,149 @@ fn goodput_counters_reconcile_with_offered_load() {
         report.goodput_qps,
         attainment,
         report.qps
+    );
+}
+
+#[test]
+fn cached_engine_matches_uncached_engine_on_a_replayed_trace() {
+    // The result cache (exact fingerprints) and the backend's centroid/LUT
+    // cache must be semantically invisible: a replayed query trace gets
+    // bit-identical results with caching on and off, even though most of
+    // the cached run never touches the backend.
+    let (db, queries) = SyntheticSpec::sift_small(2031).generate();
+    let index = IvfPqIndex::build(
+        &db,
+        &IvfPqTrainConfig::new(16)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000),
+    );
+    let params = IvfPqParams::new(16, 4, 10).with_m(16);
+    let expected: Vec<_> = (0..queries.len())
+        .map(|q| search(&index, queries.get(q), 10, 4))
+        .collect();
+
+    // A trace that revisits a 16-query hot set many times.
+    let trace: Vec<usize> = (0..300).map(|i| i % 16).collect();
+
+    let cache = Arc::new(QueryResultCache::new(ResultCacheConfig::new(64)));
+    let engine = QueryEngine::start_with_cache(
+        Arc::new(CpuBackend::new(index, params).with_centroid_cache(64)),
+        EngineConfig::new(BatchPolicy::new(16, Duration::from_micros(300))).with_workers(4),
+        Some(Arc::clone(&cache)),
+    );
+    // Warm pass: one synchronous round over the hot set fills the cache
+    // (workers insert before delivering the reply), so the async replay
+    // below actually exercises the hit path instead of racing 300
+    // not-yet-cached submissions into the queue at once.
+    for q in 0..16 {
+        let reply = engine
+            .submit(queries.get(q).to_vec())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(reply.results, expected[q], "warm query {q}");
+    }
+    let tickets: Vec<(usize, Ticket)> = trace
+        .iter()
+        .map(|&q| (q, engine.submit(queries.get(q).to_vec()).unwrap()))
+        .collect();
+    for (q, ticket) in tickets {
+        let reply = ticket.wait().expect("reply delivered");
+        assert_eq!(reply.status, QueryStatus::Completed);
+        assert_eq!(
+            reply.results, expected[q],
+            "query {q}: cached serving diverged from sequential search"
+        );
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.queries as usize, trace.len() + 16);
+    let cache_report = report.cache.expect("cache section present");
+    assert_eq!(
+        cache_report.hits,
+        trace.len() as u64,
+        "after the warm pass every replayed submission must hit"
+    );
+    assert_eq!(
+        cache_report.hits + cache_report.misses,
+        (trace.len() + 16) as u64,
+        "every submission consults the cache exactly once"
+    );
+}
+
+#[test]
+fn tiny_cache_never_serves_stale_results_across_an_index_swap() {
+    // A capacity-4 cache under a 64-query stream churns through eviction
+    // constantly; after the backend's dataset is swapped and the cache
+    // invalidated, every reply must reflect the *new* dataset — a stale hit
+    // would reproduce the old dataset's neighbours instead.
+    let (db_a, queries) = SyntheticSpec::sift_small(2032).generate();
+    let (db_b, _) = SyntheticSpec::sift_small(9932).generate();
+    let truth_a = FlatIndex::new(db_a.clone());
+    let truth_b = FlatIndex::new(db_b.clone());
+    let cache = Arc::new(QueryResultCache::new(
+        ResultCacheConfig::new(4).with_shards(1),
+    ));
+
+    // Serve dataset A twice over (fills, evicts, and hits), checking against
+    // A's ground truth.
+    let engine_a = QueryEngine::start_with_cache(
+        Arc::new(FlatBackend::new(FlatIndex::new(db_a), 10)),
+        EngineConfig::new(BatchPolicy::new(8, Duration::from_micros(200))).with_workers(2),
+        Some(Arc::clone(&cache)),
+    );
+    // Each query runs twice back-to-back: the first fills, the immediate
+    // repeat hits while the entry is still resident (the cyclic scan itself
+    // evicts constantly at capacity 4).
+    for i in 0..queries.len() {
+        for rep in 0..2 {
+            let reply = engine_a
+                .submit(queries.get(i).to_vec())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(
+                reply.results,
+                truth_a.search(queries.get(i), 10),
+                "rep {rep}, query {i}: wrong results against dataset A"
+            );
+        }
+    }
+    let report_a = engine_a.shutdown();
+    let stats_a = report_a.cache.expect("cache section");
+    assert!(
+        stats_a.evictions > 0,
+        "a capacity-4 cache under 64 distinct queries must evict"
+    );
+
+    // Swap the index: new backend over dataset B, same cache object. The
+    // invalidation makes every surviving entry (and any in-flight insert
+    // keyed against the old generation) unservable.
+    cache.invalidate_all();
+    let engine_b = QueryEngine::start_with_cache(
+        Arc::new(FlatBackend::new(FlatIndex::new(db_b), 10)),
+        EngineConfig::new(BatchPolicy::new(8, Duration::from_micros(200))).with_workers(2),
+        Some(Arc::clone(&cache)),
+    );
+    for i in 0..queries.len() {
+        for rep in 0..2 {
+            let reply = engine_b
+                .submit(queries.get(i).to_vec())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(
+                reply.results,
+                truth_b.search(queries.get(i), 10),
+                "rep {rep}, query {i}: stale dataset-A results served after the swap"
+            );
+        }
+    }
+    let report_b = engine_b.shutdown();
+    let stats_b = report_b.cache.expect("cache section");
+    assert!(
+        stats_b.hits > 0,
+        "immediate repeats over dataset B must hit B-generation entries"
     );
 }
 
