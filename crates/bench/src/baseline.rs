@@ -1,0 +1,316 @@
+//! Canonical benchmark baselines: `BENCH_serve.json` read-modify-write and a
+//! direction-aware regression comparator.
+//!
+//! The serving benchmarks (`serve_throughput`, `serve_cache`) print one JSON
+//! row per sweep point, but rows on stdout leave no trajectory — nothing in
+//! the repo says what the numbers *were* when a change landed. This module
+//! gives every serving bench a canonical sink: a named **section** of scalar
+//! metrics inside `BENCH_serve.json` at the repo root. Each bench rewrites
+//! only its own section (read-modify-write), so the committed file
+//! accumulates the full picture across binaries and PRs diff it like code.
+//!
+//! Layout of `BENCH_serve.json`:
+//!
+//! ```json
+//! {
+//!   "serve_throughput": { "scale": "small", "s1_b64_qps": 51234.0, ... },
+//!   "serve_cache":      { "scale": "small", "cap128_qps2000_theta1.0_hit_rate": 0.62, ... }
+//! }
+//! ```
+//!
+//! [`compare`] flags regressions between two such files with a
+//! direction-aware tolerance: metrics ending in `_us` are latencies (lower is
+//! better, regression = grew), everything else is a rate/throughput (higher
+//! is better, regression = shrank). Host-measured numbers are noisy across
+//! machines, so the default tolerance is deliberately loose (±35 %,
+//! `FANNS_BENCH_TOL` overrides); the comparator is a tripwire for collapses,
+//! not a microbenchmark gate.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+/// Default tolerance for [`compare`] — the relative change a metric may move
+/// in the losing direction before it is flagged.
+pub const DEFAULT_TOLERANCE: f64 = 0.35;
+
+/// Path the serving benches write their baseline sections to:
+/// `$FANNS_BENCH_OUT` when set, else `BENCH_serve.json` at the repo root.
+pub fn bench_out_path() -> PathBuf {
+    match std::env::var("FANNS_BENCH_OUT") {
+        Ok(path) if !path.is_empty() => PathBuf::from(path),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json"),
+    }
+}
+
+/// Tolerance for [`compare`]: `$FANNS_BENCH_TOL` when set and parseable,
+/// else [`DEFAULT_TOLERANCE`].
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("FANNS_BENCH_TOL")
+        .ok()
+        .and_then(|raw| raw.parse::<f64>().ok())
+        .filter(|tol| tol.is_finite() && *tol >= 0.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// Replaces `section` of the JSON document at `path` with `metrics`,
+/// preserving every other section. Creates the file (and a fresh document)
+/// when it does not exist yet. Returns the path written.
+///
+/// # Panics
+/// Panics when the existing file is unreadable or not valid JSON — a corrupt
+/// baseline should fail loudly, not be silently clobbered.
+pub fn update_section(path: &Path, section: &str, metrics: &BTreeMap<String, f64>) -> PathBuf {
+    let mut doc = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::parse(&text) {
+            Ok(Value::Map(entries)) => entries,
+            Ok(other) => panic!(
+                "baseline {} must hold a JSON object, found {}",
+                path.display(),
+                other.kind()
+            ),
+            Err(err) => panic!("baseline {} is not valid JSON: {err}", path.display()),
+        },
+        Err(_) => Vec::new(),
+    };
+    let body = Value::Map(
+        metrics
+            .iter()
+            .map(|(name, value)| (name.clone(), Value::Float(*value)))
+            .collect(),
+    );
+    match doc.iter_mut().find(|(name, _)| name == section) {
+        Some((_, slot)) => *slot = body,
+        None => doc.push((section.to_string(), body)),
+    }
+    let text = serde_json::to_string_pretty(&Value::Map(doc)).expect("baseline serialises");
+    std::fs::write(path, text + "\n").unwrap_or_else(|err| {
+        panic!("cannot write baseline {}: {err}", path.display());
+    });
+    path.to_path_buf()
+}
+
+/// Loads one section of a baseline file as a flat metric map; `None` when the
+/// file or the section is absent.
+pub fn load_section(path: &Path, section: &str) -> Option<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = serde_json::parse(&text).ok()?;
+    let body = doc.get(section)?;
+    let Value::Map(entries) = body else {
+        return None;
+    };
+    Some(
+        entries
+            .iter()
+            .filter_map(|(name, value)| value.as_f64().map(|v| (name.clone(), v)))
+            .collect(),
+    )
+}
+
+/// Section names present in a baseline file (empty when unreadable).
+pub fn sections(path: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    match serde_json::parse(&text) {
+        Ok(Value::Map(entries)) => entries.iter().map(|(name, _)| name.clone()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Whether a metric improves downward (latencies) or upward (rates,
+/// throughputs) — the direction [`compare`] tests against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Lower is better (`*_us` latency metrics).
+    LowerIsBetter,
+    /// Higher is better (throughput, hit rates — everything else).
+    HigherIsBetter,
+}
+
+/// Infers the improvement direction from the metric name suffix.
+pub fn direction_of(metric: &str) -> Direction {
+    if metric.ends_with("_us") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::HigherIsBetter
+    }
+}
+
+/// One metric that moved beyond tolerance in the losing direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Baseline section the metric lives in.
+    pub section: String,
+    /// Metric name within the section.
+    pub metric: String,
+    /// Value in the baseline (old) file.
+    pub baseline: f64,
+    /// Value in the candidate (new) file.
+    pub candidate: f64,
+    /// Signed relative change, `(candidate - baseline) / baseline`.
+    pub relative_change: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {:.3} -> {:.3} ({:+.1}%)",
+            self.section,
+            self.metric,
+            self.baseline,
+            self.candidate,
+            self.relative_change * 100.0
+        )
+    }
+}
+
+/// Compares every metric shared by two metric maps and returns the ones that
+/// moved beyond `tolerance` in the losing direction for their
+/// [`direction_of`] the name. Metrics present on only one side are ignored
+/// (sweep grids may grow or shrink between runs).
+pub fn compare_metrics(
+    section: &str,
+    baseline: &BTreeMap<String, f64>,
+    candidate: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for (metric, &old) in baseline {
+        let Some(&new) = candidate.get(metric) else {
+            continue;
+        };
+        if old == 0.0 {
+            continue; // no meaningful relative change from a zero baseline
+        }
+        let rel = (new - old) / old.abs();
+        let regressed = match direction_of(metric) {
+            Direction::LowerIsBetter => rel > tolerance,
+            Direction::HigherIsBetter => rel < -tolerance,
+        };
+        if regressed {
+            regressions.push(Regression {
+                section: section.to_string(),
+                metric: metric.clone(),
+                baseline: old,
+                candidate: new,
+                relative_change: rel,
+            });
+        }
+    }
+    regressions
+}
+
+/// File-level [`compare_metrics`]: walks every section of `baseline_path`
+/// that also exists in `candidate_path`. Returns `(regressions,
+/// metrics_compared)`.
+pub fn compare(
+    baseline_path: &Path,
+    candidate_path: &Path,
+    tolerance: f64,
+) -> (Vec<Regression>, usize) {
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for section in sections(baseline_path) {
+        let Some(old) = load_section(baseline_path, &section) else {
+            continue;
+        };
+        let Some(new) = load_section(candidate_path, &section) else {
+            continue;
+        };
+        compared += old.keys().filter(|k| new.contains_key(*k)).count();
+        regressions.extend(compare_metrics(&section, &old, &new, tolerance));
+    }
+    (regressions, compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs
+            .iter()
+            .map(|&(name, value)| (name.to_string(), value))
+            .collect()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fanns_baseline_{tag}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn update_preserves_other_sections_and_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        update_section(&path, "alpha", &metrics(&[("qps", 100.0), ("p50_us", 2.5)]));
+        update_section(&path, "beta", &metrics(&[("hit_rate", 0.5)]));
+        // Rewriting alpha must not disturb beta.
+        update_section(&path, "alpha", &metrics(&[("qps", 120.0), ("p50_us", 2.0)]));
+        assert_eq!(
+            sections(&path),
+            vec!["alpha".to_string(), "beta".to_string()]
+        );
+        let alpha = load_section(&path, "alpha").unwrap();
+        assert_eq!(alpha.get("qps"), Some(&120.0));
+        assert_eq!(alpha.get("p50_us"), Some(&2.0));
+        let beta = load_section(&path, "beta").unwrap();
+        assert_eq!(beta.get("hit_rate"), Some(&0.5));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn comparator_is_direction_aware() {
+        let old = metrics(&[("qps", 1000.0), ("p50_us", 100.0)]);
+        // qps halved (regression), latency halved (improvement).
+        let new = metrics(&[("qps", 500.0), ("p50_us", 50.0)]);
+        let regs = compare_metrics("s", &old, &new, 0.35);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "qps");
+        assert!(regs[0].relative_change < 0.0);
+
+        // Latency doubled (regression), qps doubled (improvement).
+        let new = metrics(&[("qps", 2000.0), ("p50_us", 200.0)]);
+        let regs = compare_metrics("s", &old, &new, 0.35);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "p50_us");
+        assert!(regs[0].relative_change > 0.0);
+    }
+
+    #[test]
+    fn comparator_respects_tolerance_and_skips_unshared_metrics() {
+        let old = metrics(&[("qps", 1000.0), ("gone", 3.0)]);
+        // -20% at 35% tolerance: within bounds; `gone` has no counterpart.
+        let new = metrics(&[("qps", 800.0), ("added_us", 9.0)]);
+        assert!(compare_metrics("s", &old, &new, 0.35).is_empty());
+        assert_eq!(compare_metrics("s", &old, &new, 0.10).len(), 1);
+    }
+
+    #[test]
+    fn file_level_compare_walks_shared_sections() {
+        let base = temp_path("cmp_base");
+        let cand = temp_path("cmp_cand");
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(&cand);
+        update_section(&base, "a", &metrics(&[("qps", 1000.0)]));
+        update_section(&base, "b", &metrics(&[("p50_us", 10.0)]));
+        update_section(&cand, "a", &metrics(&[("qps", 100.0)]));
+        // Section `b` exists only in the baseline: ignored.
+        let (regs, compared) = compare(&base, &cand, 0.35);
+        assert_eq!(compared, 1);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].section, "a");
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(&cand);
+    }
+
+    #[test]
+    fn direction_inference_uses_latency_suffix() {
+        assert_eq!(direction_of("p50_us"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("miss_p50_us"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("qps"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("hit_rate"), Direction::HigherIsBetter);
+    }
+}

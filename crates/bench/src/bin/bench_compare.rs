@@ -1,0 +1,64 @@
+//! Compares two `BENCH_serve.json` baselines and fails on regressions.
+//!
+//! ```sh
+//! # After re-running the serving benches into a candidate file:
+//! FANNS_BENCH_OUT=/tmp/BENCH_serve.new.json cargo run --release --bin serve_throughput
+//! cargo run --release --bin bench_compare -- BENCH_serve.json /tmp/BENCH_serve.new.json
+//! ```
+//!
+//! Walks every section the two files share, compares every shared metric
+//! with the direction-aware tolerance from `fanns_bench::baseline`
+//! (latencies `*_us` may not grow, everything else may not shrink, by more
+//! than `FANNS_BENCH_TOL`, default ±35 %), prints each regression, and exits
+//! non-zero when any is found. Metrics or sections present on only one side
+//! are skipped — sweep grids are allowed to evolve.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fanns_bench::baseline;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(baseline::bench_out_path);
+    let candidate_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| baseline_path.clone());
+    let tolerance = baseline::tolerance_from_env();
+
+    let sections = baseline::sections(&baseline_path);
+    if sections.is_empty() {
+        eprintln!(
+            "bench_compare: no sections in baseline {} (run serve_throughput / serve_cache first)",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let (regressions, compared) = baseline::compare(&baseline_path, &candidate_path, tolerance);
+    println!(
+        "bench_compare: {} vs {} — {} shared metrics at ±{:.0}% tolerance",
+        baseline_path.display(),
+        candidate_path.display(),
+        compared,
+        tolerance * 100.0
+    );
+    if compared == 0 {
+        eprintln!("bench_compare: the files share no metrics — nothing was checked");
+        return ExitCode::FAILURE;
+    }
+    for regression in &regressions {
+        println!("REGRESSION {regression}");
+    }
+    if regressions.is_empty() {
+        println!("bench_compare OK: no regression across {compared} metrics");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_compare FAILED: {} regression(s)", regressions.len());
+        ExitCode::FAILURE
+    }
+}

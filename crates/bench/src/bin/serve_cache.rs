@@ -22,12 +22,13 @@
 //! `capacity = 0` rows run the identical workload with caching disabled —
 //! the baseline the cached rows are compared against.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
 use serde::Serialize;
 
+use fanns_bench::baseline;
 use fanns_bench::{print_header, Scale};
 use fanns_dataset::synth::SyntheticSpec;
 use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
@@ -125,6 +126,7 @@ fn main() {
     // check; hit/miss p50 pairs for the latency-split check.
     let mut hit_rate_curves: HashMap<(usize, u64), Vec<f64>> = HashMap::new();
     let mut latency_splits: Vec<(f64, f64)> = Vec::new();
+    let mut canonical: BTreeMap<String, f64> = BTreeMap::new();
 
     for &capacity in &capacities {
         for &target_qps in &target_qps_grid {
@@ -193,6 +195,9 @@ fn main() {
                     "{}",
                     serde_json::to_string(&row).expect("sweep row serialises")
                 );
+                let point = format!("cap{capacity}_qps{target_qps:.0}_theta{theta:.1}");
+                canonical.insert(format!("{point}_hit_rate"), row.hit_rate);
+                canonical.insert(format!("{point}_miss_p50_us"), row.miss_p50_us);
 
                 if capacity > 0 {
                     hit_rate_curves
@@ -228,6 +233,12 @@ fn main() {
             "cache-hit p50 {hit_p50:.2} us must be >= 10x below miss p50 {miss_p50:.2} us"
         );
     }
+    let out = baseline::update_section(&baseline::bench_out_path(), "serve_cache", &canonical);
+    eprintln!(
+        "serve_cache: wrote {} metrics to {}",
+        canonical.len(),
+        out.display()
+    );
     eprintln!(
         "serve_cache OK: hit rate monotone in theta on {} curves; hit p50 >= 10x below miss p50 on {} rows",
         hit_rate_curves.len(),

@@ -13,11 +13,13 @@
 //! shard's service time plus the LogGP scatter/gather cost — is reported
 //! separately as `modeled_p50_us` / `modeled_p99_us`.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use serde::Serialize;
 
+use fanns_bench::baseline;
 use fanns_bench::{print_header, sift_workload, Scale};
 use fanns_ivf::index::IvfPqTrainConfig;
 use fanns_ivf::params::IvfPqParams;
@@ -77,6 +79,7 @@ fn main() {
         Scale::Large => 20_000,
     };
 
+    let mut canonical: BTreeMap<String, f64> = BTreeMap::new();
     for &shards in &shard_counts {
         // Each replica trains an index over its partition; queries fan out to
         // every replica and merge, paying the LogGP scatter/gather cost. The
@@ -122,7 +125,19 @@ fn main() {
                 "{}",
                 serde_json::to_string(&row).expect("sweep row serialises")
             );
+            canonical.insert(format!("s{shards}_b{max_batch}_qps"), row.qps);
+            canonical.insert(format!("s{shards}_b{max_batch}_p50_us"), row.p50_us);
             debug_assert_eq!(outcome.completed as u64, report.queries);
         }
     }
+
+    // Canonical baseline trajectory: one section of BENCH_serve.json, keyed
+    // by sweep point, compared against by `bench_compare` (see
+    // `fanns_bench::baseline`).
+    let out = baseline::update_section(&baseline::bench_out_path(), "serve_throughput", &canonical);
+    eprintln!(
+        "serve_throughput: wrote {} metrics to {}",
+        canonical.len(),
+        out.display()
+    );
 }

@@ -5,6 +5,8 @@
 //! construction and reporting helpers defined here so that all experiments
 //! run on the same seeded datasets and print uniform, machine-greppable rows.
 
+pub mod baseline;
+
 use fanns_dataset::ground_truth::{ground_truth, GroundTruth};
 use fanns_dataset::synth::SyntheticSpec;
 use fanns_dataset::types::{QuerySet, VectorDataset};

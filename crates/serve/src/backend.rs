@@ -23,6 +23,7 @@ use fanns_ivf::search::{
 };
 
 use crate::cache::CentroidLutCache;
+use crate::telemetry::{batch_traced, Stage, TelemetrySink};
 
 /// One backend answer: the top-K hits plus, for simulated hardware, the
 /// modelled device latency (µs) for this query.
@@ -125,6 +126,9 @@ pub struct CpuBackend {
     /// stages (OPQ + IVFDist + SelCells) and the ADC lookup table per
     /// distinct query, leaving only the inverted-list scan on a hit.
     lut_cache: Option<CentroidLutCache>,
+    /// Optional telemetry sink for pipeline sub-stage spans (coarse
+    /// quantization / LUT build / ADC scan).
+    telemetry: Option<TelemetrySink>,
 }
 
 impl CpuBackend {
@@ -143,6 +147,7 @@ impl CpuBackend {
             index,
             params,
             lut_cache: None,
+            telemetry: None,
         }
     }
 
@@ -154,6 +159,20 @@ impl CpuBackend {
     /// exact query and the index is immutable for the backend's lifetime.
     pub fn with_centroid_cache(mut self, capacity: usize) -> Self {
         self.lut_cache = Some(CentroidLutCache::new(capacity, self.index.nlist()));
+        self
+    }
+
+    /// Builder-style attach of a telemetry sink: traced queries record one
+    /// span per pipeline sub-stage — coarse quantization (OPQ + IVFDist +
+    /// SelCells), LUT build, and ADC scan — the live analogue of the
+    /// paper's Fig. 3 stage split. Which queries are traced follows the
+    /// engine's batch-sampling decision when this backend serves an engine
+    /// worker ([`crate::telemetry::batch_traced`]); driven standalone, the
+    /// sink self-samples at its registry's configured rate. The traced path
+    /// runs the same staged kernels as the fused one, so results stay
+    /// bit-identical.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -192,6 +211,47 @@ impl CpuBackend {
         cache.record_probes(cells);
         stage_scan_and_select(&self.index, cells, lut, self.params.k)
     }
+
+    /// One query through the staged pipeline with sub-stage spans recorded.
+    /// Calls the same `stage_*` kernels the fused [`search`] composes, so
+    /// results are bit-identical to the untraced path; the only extra work
+    /// is four `Instant::now()` reads and three ring pushes.
+    fn search_traced(&self, sink: &TelemetrySink, query: &[f32]) -> Vec<SearchResult> {
+        let qid = sink.next_id();
+        if let Some(cache) = &self.lut_cache {
+            if let Some(entry) = cache.get(query) {
+                // Cached hit: coarse quantization and LUT build are
+                // memoized away; only the scan runs (and is recorded).
+                cache.record_probes(&entry.0);
+                let t0 = std::time::Instant::now();
+                let results = stage_scan_and_select(&self.index, &entry.0, &entry.1, self.params.k);
+                sink.record_range(Stage::Scan, qid, t0, std::time::Instant::now());
+                return results;
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let rotated = stage_opq(&self.index, query);
+        let dists = stage_ivf_dist(&self.index, &rotated);
+        let cells = stage_sel_cells(&dists, self.params.effective_nprobe());
+        let t1 = std::time::Instant::now();
+        let lut = stage_build_lut(&self.index, &rotated);
+        let t2 = std::time::Instant::now();
+        let (cells, lut) = match &self.lut_cache {
+            Some(cache) => {
+                let entry = std::sync::Arc::new((cells, lut));
+                cache.insert(query, std::sync::Arc::clone(&entry));
+                cache.record_probes(&entry.0);
+                (entry.0.clone(), entry.1.clone())
+            }
+            None => (cells, lut),
+        };
+        let results = stage_scan_and_select(&self.index, &cells, &lut, self.params.k);
+        let t3 = std::time::Instant::now();
+        sink.record_range(Stage::Coarse, qid, t0, t1);
+        sink.record_range(Stage::BuildLut, qid, t1, t2);
+        sink.record_range(Stage::Scan, qid, t2, t3);
+        results
+    }
 }
 
 impl SearchBackend for CpuBackend {
@@ -216,17 +276,26 @@ impl SearchBackend for CpuBackend {
     }
 
     fn search_batch(&self, queries: &[&[f32]]) -> Vec<BackendResponse> {
+        // Trace this batch iff the engine worker sampled it; standalone
+        // (no engine flag on this thread), self-sample at the sink's rate.
+        let traced = self.telemetry.as_ref().and_then(|sink| {
+            let on = batch_traced().unwrap_or_else(|| sink.self_sample());
+            on.then_some(sink)
+        });
         queries
             .iter()
             .map(|q| BackendResponse {
-                results: match &self.lut_cache {
-                    Some(cache) => self.search_cached(cache, q),
-                    None => search(
-                        &self.index,
-                        q,
-                        self.params.k,
-                        self.params.effective_nprobe(),
-                    ),
+                results: match traced {
+                    Some(sink) => self.search_traced(sink, q),
+                    None => match &self.lut_cache {
+                        Some(cache) => self.search_cached(cache, q),
+                        None => search(
+                            &self.index,
+                            q,
+                            self.params.k,
+                            self.params.effective_nprobe(),
+                        ),
+                    },
                 },
                 simulated_us: None,
             })

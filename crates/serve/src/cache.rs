@@ -372,7 +372,7 @@ impl CacheCounters {
 
 /// A point-in-time snapshot of a cache's counters (serialisable — embedded
 /// in bench rows and in [`crate::metrics::ServeReport`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
@@ -400,6 +400,17 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// `entries / capacity` — the fill fraction behind the
+    /// [`CacheEntries`](crate::telemetry::Gauge::CacheEntries) gauge; 0 for a
+    /// zero-capacity (disabled) cache.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.capacity as f64
         }
     }
 }
@@ -731,6 +742,18 @@ impl CentroidLutCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn occupancy_is_fill_fraction_and_zero_when_disabled() {
+        let stats = CacheStats {
+            entries: 25,
+            capacity: 100,
+            ..CacheStats::default()
+        };
+        assert!((stats.occupancy() - 0.25).abs() < 1e-12);
+        let disabled = CacheStats::default();
+        assert_eq!(disabled.occupancy(), 0.0);
+    }
 
     fn hits(cache: &QueryResultCache) -> u64 {
         cache.stats().hits

@@ -34,6 +34,7 @@ use fanns_scaleout::loggp::{query_message_bytes, result_message_bytes, LogGpPara
 
 use crate::backend::{BackendError, BackendResponse, CpuBackend, FlatBackend, SearchBackend};
 use crate::replica::{ReplicaHealthConfig, ReplicaSet, ReplicaSetStats};
+use crate::telemetry::{batch_traced, set_batch_traced, Stage, TelemetrySink};
 
 /// One scattered batch handed to a shard worker.
 struct ShardJob {
@@ -41,6 +42,10 @@ struct ShardJob {
     queries: Vec<Vec<f32>>,
     /// Where the shard's partial answers go.
     reply: Sender<ShardReply>,
+    /// The dispatching thread's tracing decision, captured at scatter time
+    /// (the batch-traced flag is thread-local and the worker is another
+    /// thread). `None` when the dispatcher saw no engine decision.
+    traced: Option<bool>,
 }
 
 /// A shard worker's answer for one batch.
@@ -59,16 +64,34 @@ struct ShardWorker {
 }
 
 impl ShardWorker {
-    fn spawn(idx: usize, backend: Box<dyn SearchBackend>) -> Self {
+    fn spawn(idx: usize, backend: Box<dyn SearchBackend>, sink: Option<TelemetrySink>) -> Self {
         let (tx, rx) = sync_channel::<ShardJob>(4);
         let handle = std::thread::Builder::new()
             .name(format!("fanns-serve-shard-{idx}"))
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
                     let refs: Vec<&[f32]> = job.queries.iter().map(Vec::as_slice).collect();
+                    // Re-establish the dispatcher's tracing decision on this
+                    // thread so the shard's own backend (and any replica set
+                    // inside it) traces the same batches; no decision means
+                    // self-sample.
+                    let traced = match &sink {
+                        Some(sink) => job.traced.unwrap_or_else(|| sink.self_sample()),
+                        None => false,
+                    };
+                    if sink.is_some() {
+                        set_batch_traced(traced);
+                    }
                     let start = Instant::now();
                     let responses = backend.try_search_batch(&refs);
-                    let service_us = start.elapsed().as_secs_f64() * 1e6;
+                    let end = Instant::now();
+                    if sink.is_some() {
+                        crate::telemetry::clear_batch_traced();
+                    }
+                    if let (Some(sink), true) = (&sink, traced) {
+                        sink.record_range(Stage::ShardService, idx as u64, start, end);
+                    }
+                    let service_us = (end - start).as_secs_f64() * 1e6;
                     // The dispatcher may have given up on the batch; fine.
                     let _ = job.reply.send(ShardReply {
                         responses,
@@ -112,6 +135,24 @@ impl ShardedBackend {
         id_offsets: Vec<u32>,
         network: Option<LogGpParams>,
     ) -> Self {
+        Self::new_with_telemetry(shards, id_offsets, network, None)
+    }
+
+    /// [`ShardedBackend::new`] with a telemetry sink attached: each shard
+    /// worker records a [`Stage::ShardService`] span per traced batch
+    /// (worker threads are spawned here, so the sink must be supplied at
+    /// construction). Traced batches follow the dispatching engine's
+    /// sampling decision; driven standalone, workers self-sample at the
+    /// sink's configured rate.
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedBackend::new`].
+    pub fn new_with_telemetry(
+        shards: Vec<Box<dyn SearchBackend>>,
+        id_offsets: Vec<u32>,
+        network: Option<LogGpParams>,
+        telemetry: Option<TelemetrySink>,
+    ) -> Self {
         assert!(
             !shards.is_empty(),
             "sharded backend needs at least one shard"
@@ -127,7 +168,7 @@ impl ShardedBackend {
         let workers = shards
             .into_iter()
             .enumerate()
-            .map(|(idx, backend)| ShardWorker::spawn(idx, backend))
+            .map(|(idx, backend)| ShardWorker::spawn(idx, backend, telemetry.clone()))
             .collect();
         Self {
             workers,
@@ -236,6 +277,9 @@ impl SearchBackend for ShardedBackend {
     }
 
     fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
+        // Capture this thread's tracing decision so shard workers (separate
+        // threads) can re-establish it around their backend calls.
+        let traced = batch_traced();
         // Scatter: hand the batch to every replica's persistent worker.
         let receivers: Vec<Receiver<ShardReply>> = self
             .workers
@@ -245,6 +289,7 @@ impl SearchBackend for ShardedBackend {
                 let job = ShardJob {
                     queries: queries.iter().map(|q| q.to_vec()).collect(),
                     reply: reply_tx,
+                    traced,
                 };
                 worker
                     .tx

@@ -44,6 +44,7 @@ use fanns_ivf::search::SearchResult;
 use crate::backend::SearchBackend;
 use crate::cache::{CacheKey, QueryResultCache};
 use crate::metrics::{CacheReport, MetricsCollector, ServeReport};
+use crate::telemetry::{self, Gauge, Stage, TelemetryRegistry, TelemetrySink};
 
 /// Order in which the batcher picks pending queries into a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -288,6 +289,15 @@ struct Request {
     /// backend answers.
     cache_key: Option<CacheKey>,
     reply_tx: std::sync::mpsc::Sender<QueryReply>,
+    /// Whether telemetry traces this query (`id % sample_every == 0`).
+    /// Always `false` when the engine runs without a registry.
+    sampled: bool,
+    /// Stage boundary stamps, written as the request moves through the
+    /// pipeline (only when `sampled`; initialized to `submitted` so spans
+    /// degrade to zero duration rather than garbage if a stage is skipped).
+    t_enqueued: Instant,
+    t_picked: Instant,
+    t_dispatched: Instant,
 }
 
 impl Request {
@@ -331,6 +341,9 @@ pub struct QueryEngine {
     rejected: AtomicU64,
     cache_misses: AtomicU64,
     started: Instant,
+    telemetry: Option<Arc<TelemetryRegistry>>,
+    /// Sink for spans emitted on the submitter's thread (cache hits).
+    front_sink: Option<TelemetrySink>,
 }
 
 /// The outcome of admitting one query: either the cache answered it on the
@@ -386,6 +399,22 @@ impl QueryEngine {
         config: EngineConfig,
         cache: Option<Arc<QueryResultCache>>,
     ) -> Self {
+        Self::start_with_telemetry(backend, config, cache, None)
+    }
+
+    /// Starts the engine with tracing attached: when `telemetry` is `Some`,
+    /// every `sample_every`-th query emits per-stage span events into the
+    /// registry's lock-free rings, live gauges (queue depth, in-flight,
+    /// batch size) are maintained, and [`QueryEngine::report`] /
+    /// [`QueryEngine::shutdown`] attach the per-stage breakdown as
+    /// `ServeReport.stages`. See `docs/OBSERVABILITY.md` for the event
+    /// model and overhead budget.
+    pub fn start_with_telemetry(
+        backend: Arc<dyn SearchBackend>,
+        config: EngineConfig,
+        cache: Option<Arc<QueryResultCache>>,
+        telemetry: Option<Arc<TelemetryRegistry>>,
+    ) -> Self {
         let (submit_tx, submit_rx) = sync_channel::<Request>(config.queue_depth);
         // A shallow batch queue: enough to keep workers busy, small enough
         // that backpressure reaches the admission queue quickly.
@@ -396,39 +425,36 @@ impl QueryEngine {
             config.admission.initial_service_estimate_us,
         ));
 
-        let policy = config.batch;
-        let admission = config.admission;
-        let queue_depth = config.queue_depth;
         let batcher = {
-            let estimate = Arc::clone(&estimate);
-            let metrics = Arc::clone(&metrics);
+            let ctx = BatcherCtx {
+                policy: config.batch,
+                admission: config.admission,
+                queue_depth: config.queue_depth,
+                estimate: Arc::clone(&estimate),
+                metrics: Arc::clone(&metrics),
+                telemetry: telemetry.clone(),
+            };
             std::thread::Builder::new()
                 .name("fanns-serve-batcher".into())
-                .spawn(move || {
-                    run_batcher(
-                        submit_rx,
-                        batch_tx,
-                        policy,
-                        admission,
-                        queue_depth,
-                        estimate,
-                        metrics,
-                    )
-                })
+                .spawn(move || run_batcher(submit_rx, batch_tx, ctx))
                 .expect("spawn batcher thread")
         };
 
         let workers = (0..config.workers)
             .map(|w| {
-                let backend = Arc::clone(&backend);
-                let batch_rx = Arc::clone(&batch_rx);
-                let metrics = Arc::clone(&metrics);
-                let estimate = Arc::clone(&estimate);
-                let cache = cache.clone();
-                let slo_us = config.slo_us;
+                let ctx = WorkerCtx {
+                    backend: Arc::clone(&backend),
+                    batch_rx: Arc::clone(&batch_rx),
+                    metrics: Arc::clone(&metrics),
+                    estimate: Arc::clone(&estimate),
+                    cache: cache.clone(),
+                    slo_us: config.slo_us,
+                    telemetry: telemetry.clone(),
+                    sink: telemetry.as_ref().map(|t| t.sink()),
+                };
                 std::thread::Builder::new()
                     .name(format!("fanns-serve-worker-{w}"))
-                    .spawn(move || run_worker(backend, batch_rx, metrics, estimate, cache, slo_us))
+                    .spawn(move || run_worker(ctx))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -448,6 +474,8 @@ impl QueryEngine {
             rejected: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             started: Instant::now(),
+            front_sink: telemetry.as_ref().map(|t| t.sink()),
+            telemetry,
         }
     }
 
@@ -488,6 +516,13 @@ impl QueryEngine {
                     let mut collector = self.metrics.lock().expect("metrics lock");
                     collector.record_cache_hit(wall_us, self.config.slo_us);
                 }
+                if let (Some(registry), Some(sink)) = (&self.telemetry, &self.front_sink) {
+                    if registry.config().samples(id) {
+                        let done = Instant::now();
+                        sink.record_range(Stage::CacheHit, id, submitted, done);
+                        sink.record_range(Stage::Wall, id, submitted, done);
+                    }
+                }
                 // The send cannot fail: the receiver is alive in our hands.
                 let _ = reply_tx.send(QueryReply {
                     id,
@@ -513,6 +548,10 @@ impl QueryEngine {
                 .slo_us
                 .map(|slo| submitted + Duration::from_secs_f64(slo / 1e6))
         });
+        let sampled = match &self.telemetry {
+            Some(registry) => registry.config().samples(id),
+            None => false,
+        };
         Ok(Admission::Enqueue(
             Request {
                 id,
@@ -521,15 +560,27 @@ impl QueryEngine {
                 deadline,
                 cache_key,
                 reply_tx,
+                sampled,
+                t_enqueued: submitted,
+                t_picked: submitted,
+                t_dispatched: submitted,
             },
             Ticket { id, rx: reply_rx },
         ))
     }
 
-    fn push(&self, request: Request, ticket: Ticket) -> Result<Ticket, SubmitError> {
+    fn push(&self, mut request: Request, ticket: Ticket) -> Result<Ticket, SubmitError> {
         let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        if request.sampled {
+            request.t_enqueued = Instant::now();
+        }
         match tx.try_send(request) {
-            Ok(()) => Ok(ticket),
+            Ok(()) => {
+                if let Some(registry) = &self.telemetry {
+                    registry.add_gauge(Gauge::QueueDepth, 1);
+                }
+                Ok(ticket)
+            }
             Err(TrySendError::Full(_)) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::QueueFull)
@@ -539,9 +590,19 @@ impl QueryEngine {
     }
 
     /// Blocking enqueue of an admitted request (closed-loop clients).
-    fn enqueue_blocking(&self, request: Request, ticket: Ticket) -> Result<Ticket, SubmitError> {
+    fn enqueue_blocking(
+        &self,
+        mut request: Request,
+        ticket: Ticket,
+    ) -> Result<Ticket, SubmitError> {
         let tx = self.submit_tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        if request.sampled {
+            request.t_enqueued = Instant::now();
+        }
         tx.send(request).map_err(|_| SubmitError::ShuttingDown)?;
+        if let Some(registry) = &self.telemetry {
+            registry.add_gauge(Gauge::QueueDepth, 1);
+        }
         Ok(ticket)
     }
 
@@ -606,6 +667,21 @@ impl QueryEngine {
         self.cache.as_ref()
     }
 
+    /// The telemetry registry tracing this engine, if one is attached.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryRegistry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Publishes point-in-time gauges the hot path cannot maintain
+    /// incrementally (currently: result-cache occupancy). Call before
+    /// snapshotting when both a cache and telemetry are attached; a no-op
+    /// otherwise.
+    pub fn publish_gauges(&self) {
+        if let (Some(registry), Some(cache)) = (&self.telemetry, &self.cache) {
+            registry.set_gauge(Gauge::CacheEntries, cache.stats().entries as i64);
+        }
+    }
+
     /// A point-in-time report over everything completed so far.
     pub fn report(&self) -> ServeReport {
         let collector = self.metrics.lock().expect("metrics lock");
@@ -616,12 +692,16 @@ impl QueryEngine {
             self.rejected.load(Ordering::Relaxed),
             self.config.slo_us,
         );
-        match &self.cache {
+        let report = match &self.cache {
             Some(cache) => report.with_cache_report(CacheReport::new(
                 &collector,
                 &cache.stats(),
                 self.cache_misses.load(Ordering::Relaxed),
             )),
+            None => report,
+        };
+        match &self.telemetry {
+            Some(registry) => report.with_stage_report(registry.stage_report()),
             None => report,
         }
     }
@@ -647,29 +727,56 @@ impl QueryEngine {
             self.rejected.load(Ordering::Relaxed),
             self.config.slo_us,
         );
-        match &self.cache {
+        let report = match &self.cache {
             Some(cache) => report.with_cache_report(CacheReport::new(
                 &collector,
                 &cache.stats(),
                 self.cache_misses.load(Ordering::Relaxed),
             )),
             None => report,
+        };
+        match &self.telemetry {
+            Some(registry) => report.with_stage_report(registry.stage_report()),
+            None => report,
         }
     }
 }
 
-/// The batcher loop: forms batches under the max-size / max-wait policy,
-/// sheds queries that can no longer meet their deadline, and picks batch
-/// members FIFO or earliest-deadline-first.
-fn run_batcher(
-    submit_rx: Receiver<Request>,
-    batch_tx: SyncSender<Vec<Request>>,
+/// Everything the batcher thread needs, bundled so the spawn site stays
+/// readable as the engine grows (policies, shared state, telemetry).
+struct BatcherCtx {
     policy: BatchPolicy,
     admission: AdmissionPolicy,
     queue_depth: usize,
     estimate: Arc<ServiceEstimate>,
     metrics: Arc<Mutex<MetricsCollector>>,
-) {
+    telemetry: Option<Arc<TelemetryRegistry>>,
+}
+
+/// The batcher loop: forms batches under the max-size / max-wait policy,
+/// sheds queries that can no longer meet their deadline, and picks batch
+/// members FIFO or earliest-deadline-first.
+fn run_batcher(submit_rx: Receiver<Request>, batch_tx: SyncSender<Vec<Request>>, ctx: BatcherCtx) {
+    let BatcherCtx {
+        policy,
+        admission,
+        queue_depth,
+        estimate,
+        metrics,
+        telemetry,
+    } = ctx;
+    let sink = telemetry.as_ref().map(|t| t.sink());
+    // Stamp every pull from the submit queue: the queue-depth gauge tracks
+    // occupancy, and a sampled request records when the batcher first saw
+    // it (the queue_wait -> batch_form boundary).
+    let pull = |req: &mut Request| {
+        if let Some(registry) = &telemetry {
+            registry.add_gauge(Gauge::QueueDepth, -1);
+            if req.sampled {
+                req.t_picked = Instant::now();
+            }
+        }
+    };
     // Queries pulled from the channel but not yet dispatched (EDF pickup can
     // leave lower-urgency queries behind for the next batch).
     let mut pending: VecDeque<Request> = VecDeque::new();
@@ -688,7 +795,10 @@ fn run_batcher(
         if pending.is_empty() {
             // Block for the first query of the next batch.
             match submit_rx.recv() {
-                Ok(req) => pending.push_back(req),
+                Ok(mut req) => {
+                    pull(&mut req);
+                    pending.push_back(req);
+                }
                 Err(_) => {
                     open = false; // engine shut down, channel drained
                     continue;
@@ -703,7 +813,10 @@ fn run_batcher(
                 break;
             }
             match submit_rx.recv_timeout(window_end - now) {
-                Ok(req) => pending.push_back(req),
+                Ok(mut req) => {
+                    pull(&mut req);
+                    pending.push_back(req);
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
                     open = false;
@@ -717,7 +830,10 @@ fn run_batcher(
         // arrivals.
         while open && pending.len() < look_ahead {
             match submit_rx.try_recv() {
-                Ok(req) => pending.push_back(req),
+                Ok(mut req) => {
+                    pull(&mut req);
+                    pending.push_back(req);
+                }
                 Err(std::sync::mpsc::TryRecvError::Empty) => break,
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => {
                     open = false;
@@ -746,6 +862,20 @@ fn run_batcher(
                 collector.record_shed(shed.len() as u64);
                 drop(collector);
                 for req in shed {
+                    if let Some(sink) = &sink {
+                        if req.sampled {
+                            let done = Instant::now();
+                            sink.record_range(Stage::Submit, req.id, req.submitted, req.t_enqueued);
+                            sink.record_range(
+                                Stage::QueueWait,
+                                req.id,
+                                req.t_enqueued,
+                                req.t_picked,
+                            );
+                            sink.record_range(Stage::Shed, req.id, req.t_picked, done);
+                            sink.record_range(Stage::Wall, req.id, req.submitted, done);
+                        }
+                    }
                     req.resolve_empty(QueryStatus::Shed, 0, None);
                 }
             }
@@ -776,21 +906,70 @@ fn run_batcher(
 
         // Blocking send: when workers lag this stalls the batcher and, in
         // turn, fills the submit queue — end-to-end backpressure.
+        let mut batch = batch;
+        if let Some(registry) = &telemetry {
+            registry.add_gauge(Gauge::InFlight, batch.len() as i64);
+            registry.set_gauge(Gauge::BatchSize, batch.len() as i64);
+            let dispatched = Instant::now();
+            for req in &mut batch {
+                if req.sampled {
+                    req.t_dispatched = dispatched;
+                }
+            }
+        }
         if batch_tx.send(batch).is_err() {
             return;
         }
     }
 }
 
-/// A worker loop: executes batches on the backend and delivers replies.
-fn run_worker(
+/// Everything a worker thread needs, bundled like [`BatcherCtx`].
+struct WorkerCtx {
     backend: Arc<dyn SearchBackend>,
     batch_rx: Arc<Mutex<Receiver<Vec<Request>>>>,
     metrics: Arc<Mutex<MetricsCollector>>,
     estimate: Arc<ServiceEstimate>,
     cache: Option<Arc<QueryResultCache>>,
     slo_us: Option<f64>,
+    telemetry: Option<Arc<TelemetryRegistry>>,
+    sink: Option<TelemetrySink>,
+}
+
+/// Emits the telescoping per-query path spans for one resolved request.
+/// Every boundary instant is shared with the adjacent stage, so the stage
+/// durations partition `submitted..done` exactly and the stage breakdown
+/// reconciles with wall latency by construction. `terminal` is
+/// [`Stage::Reply`] for completions and [`Stage::Failed`] for batch
+/// failures.
+fn emit_path_spans(
+    sink: &TelemetrySink,
+    req: &Request,
+    service_start: Instant,
+    service_end: Instant,
+    terminal: Stage,
+    done: Instant,
 ) {
+    sink.record_range(Stage::Submit, req.id, req.submitted, req.t_enqueued);
+    sink.record_range(Stage::QueueWait, req.id, req.t_enqueued, req.t_picked);
+    sink.record_range(Stage::BatchForm, req.id, req.t_picked, req.t_dispatched);
+    sink.record_range(Stage::DispatchWait, req.id, req.t_dispatched, service_start);
+    sink.record_range(Stage::Service, req.id, service_start, service_end);
+    sink.record_range(terminal, req.id, service_end, done);
+    sink.record_range(Stage::Wall, req.id, req.submitted, done);
+}
+
+/// A worker loop: executes batches on the backend and delivers replies.
+fn run_worker(ctx: WorkerCtx) {
+    let WorkerCtx {
+        backend,
+        batch_rx,
+        metrics,
+        estimate,
+        cache,
+        slo_us,
+        telemetry,
+        sink,
+    } = ctx;
     loop {
         // Hold the lock only while receiving so workers pull batches
         // round-robin without serialising backend execution.
@@ -805,9 +984,20 @@ fn run_worker(
 
         let batch_size = batch.len();
         let queries: Vec<&[f32]> = batch.iter().map(|r| r.query.as_slice()).collect();
+        // Mark the thread so nested recorders (backend sub-stages, shard
+        // workers, replica sets) trace exactly the batches the engine
+        // sampled, instead of self-sampling on their own cadence.
+        let any_sampled = sink.is_some() && batch.iter().any(|r| r.sampled);
+        if sink.is_some() {
+            telemetry::set_batch_traced(any_sampled);
+        }
         let service_start = Instant::now();
         let outcome = backend.try_search_batch(&queries);
-        let service_us = service_start.elapsed().as_secs_f64() * 1e6;
+        let service_end = Instant::now();
+        if sink.is_some() {
+            telemetry::clear_batch_traced();
+        }
+        let service_us = (service_end - service_start).as_secs_f64() * 1e6;
 
         let responses = match outcome {
             Ok(responses) => responses,
@@ -820,7 +1010,22 @@ fn run_worker(
                 drop(collector);
                 for request in batch {
                     let queue_us = (service_start - request.submitted).as_secs_f64() * 1e6;
+                    if let Some(sink) = &sink {
+                        if request.sampled {
+                            emit_path_spans(
+                                sink,
+                                &request,
+                                service_start,
+                                service_end,
+                                Stage::Failed,
+                                Instant::now(),
+                            );
+                        }
+                    }
                     request.resolve_empty(QueryStatus::Failed, batch_size, Some(queue_us));
+                }
+                if let Some(registry) = &telemetry {
+                    registry.add_gauge(Gauge::InFlight, -(batch_size as i64));
                 }
                 continue;
             }
@@ -871,6 +1076,23 @@ fn run_worker(
                 batch_size,
                 simulated_us: response.simulated_us,
             });
+            // Spans are stamped after the send, so the reply stage covers
+            // the full delivery (cache fill included).
+            if let Some(sink) = &sink {
+                if request.sampled {
+                    emit_path_spans(
+                        sink,
+                        &request,
+                        service_start,
+                        service_end,
+                        Stage::Reply,
+                        Instant::now(),
+                    );
+                }
+            }
+        }
+        if let Some(registry) = &telemetry {
+            registry.add_gauge(Gauge::InFlight, -(batch_size as i64));
         }
     }
 }

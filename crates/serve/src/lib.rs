@@ -26,6 +26,11 @@
 //!   machinery in tests and benchmarks,
 //! * [`metrics`] — log-bucketed latency histograms, SLO attainment, goodput,
 //!   per-replica utilization and the aggregated [`ServeReport`],
+//! * [`telemetry`] — end-to-end query tracing: sampled per-stage span events
+//!   in lock-free bounded rings, a [`TelemetryRegistry`] aggregating them
+//!   into per-stage histograms, gauges and JSONL time-series snapshots,
+//!   Chrome trace export, and a critical-path analyzer (see
+//!   `docs/OBSERVABILITY.md`),
 //! * [`loadgen`] — open-loop Poisson and closed-loop load generators.
 //!
 //! The deployment stack composes bottom-up: an executor backend, optionally
@@ -65,6 +70,7 @@ pub mod fault;
 pub mod loadgen;
 pub mod metrics;
 pub mod replica;
+pub mod telemetry;
 
 pub use backend::{
     AcceleratorBackend, BackendError, BackendResponse, CpuBackend, FlatBackend, SearchBackend,
@@ -85,3 +91,8 @@ pub use loadgen::{
 };
 pub use metrics::{CacheReport, LatencyHistogram, ServeReport};
 pub use replica::{ReplicaHealthConfig, ReplicaSet, ReplicaSetStats, ReplicaSnapshot};
+pub use telemetry::{
+    analyze_critical_paths, chrome_trace_json, CriticalPathReport, EventRing, Gauge, QueryPath,
+    SpanEvent, Stage, StageReport, StageRow, TelemetryConfig, TelemetryRegistry, TelemetrySink,
+    TelemetrySnapshot,
+};

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::replica::{ReplicaSetStats, ReplicaSnapshot};
+use crate::telemetry::StageReport;
 
 /// EWMA smoothing factor shared by every service-time model in this crate
 /// (the engine's shedding estimate, each replica's health tracker).
@@ -153,8 +154,16 @@ impl LatencyHistogram {
         self.max_us
     }
 
-    /// Quantile estimate (p in 0–100): the geometric midpoint of the bucket
+    /// Quantile estimate (p in 0–100): rank-interpolated within the bucket
     /// containing the p-th sample, clamped to the exact min/max.
+    ///
+    /// Reporting a fixed point of the bucket (its lower edge, or even the
+    /// geometric midpoint) biases dense quantiles by up to half a bucket
+    /// width. Instead, the estimate places the p-th sample at its rank
+    /// position *within* the bucket on the geometric scale: the j-th of c
+    /// samples in a bucket maps to `floor · G^((j - 0.5) / c)`. For a
+    /// single-sample bucket this reduces to the geometric midpoint; for
+    /// dense buckets it removes the systematic offset entirely.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -164,16 +173,18 @@ impl LatencyHistogram {
             .max(1.0) as u64;
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
+            if seen + c >= rank {
                 if idx == BUCKETS - 1 {
-                    // Overflow bucket: the midpoint is meaningless, report
+                    // Overflow bucket: interpolation is meaningless, report
                     // the exact maximum.
                     return self.max_us;
                 }
-                let estimate = Self::bucket_floor(idx) * GROWTH.sqrt();
+                let within = (rank - seen) as f64; // 1..=c
+                let frac = ((within - 0.5) / c as f64).clamp(0.0, 1.0);
+                let estimate = Self::bucket_floor(idx) * GROWTH.powf(frac);
                 return estimate.clamp(self.min_us, self.max_us);
             }
+            seen += c;
         }
         self.max_us
     }
@@ -415,6 +426,10 @@ pub struct ServeReport {
     /// Result-cache traffic and occupancy (`None` when the engine runs
     /// without a cache).
     pub cache: Option<CacheReport>,
+    /// Per-stage latency breakdown from the telemetry layer (`None` when the
+    /// engine runs without tracing). See
+    /// [`crate::telemetry::TelemetryRegistry::stage_report`].
+    pub stages: Option<StageReport>,
 }
 
 impl ServeReport {
@@ -483,12 +498,19 @@ impl ServeReport {
             failover_count: 0,
             replicas: Vec::new(),
             cache: None,
+            stages: None,
         }
     }
 
     /// Attaches the cache section (see [`CacheReport::new`]).
     pub fn with_cache_report(mut self, cache: CacheReport) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches the telemetry per-stage breakdown.
+    pub fn with_stage_report(mut self, stages: StageReport) -> Self {
+        self.stages = Some(stages);
         self
     }
 
@@ -567,10 +589,36 @@ mod tests {
         let p50 = h.percentile(50.0);
         let p99 = h.percentile(99.0);
         assert!(p50 < p99);
-        assert!((p50 / 5_000.0 - 1.0).abs() < 0.10, "p50 estimate {p50}");
-        assert!((p99 / 9_900.0 - 1.0).abs() < 0.10, "p99 estimate {p99}");
+        // Rank interpolation keeps dense-distribution quantiles within half
+        // a bucket width (~2.5 % at 5 % growth) of the exact values.
+        assert!((p50 / 5_000.0 - 1.0).abs() < 0.03, "p50 estimate {p50}");
+        assert!((p99 / 9_900.0 - 1.0).abs() < 0.03, "p99 estimate {p99}");
         assert_eq!(h.min(), 1.0);
         assert_eq!(h.max(), 10_000.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_rank_within_bucket() {
+        // 490 µs and 510 µs share one bucket (5 % growth); interpolated
+        // quantiles must stay inside that bucket and increase with p
+        // instead of collapsing to a fixed bucket point.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record(490.0);
+            h.record(510.0);
+        }
+        let p25 = h.percentile(25.0);
+        let p75 = h.percentile(75.0);
+        assert!(p25 < p75, "p25 {p25} must rank below p75 {p75}");
+        // One bucket spans a 5 % ratio; both estimates are within it.
+        assert!(p75 / p25 < 1.05 + 1e-9, "p25 {p25} p75 {p75}");
+        assert!((490.0..=510.0).contains(&p25));
+        assert!((490.0..=510.0).contains(&p75));
+        // A single sample reduces to the geometric midpoint — and the
+        // min/max clamp pins it to the exact value here.
+        let mut single = LatencyHistogram::new();
+        single.record(123.0);
+        assert_eq!(single.percentile(50.0), 123.0);
     }
 
     #[test]
@@ -655,5 +703,63 @@ mod tests {
         // No replica stats attached yet.
         assert_eq!(report.failover_count, 0);
         assert!(report.replicas.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn filled(samples: &[f64]) -> LatencyHistogram {
+            let mut h = LatencyHistogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        }
+
+        proptest! {
+            /// `merge` is order-independent: merging A into B and B into A
+            /// yield identical aggregates and quantiles.
+            #[test]
+            fn merge_is_order_independent(
+                a in prop::collection::vec(0.1f64..1e7, 0..60),
+                b in prop::collection::vec(0.1f64..1e7, 0..60),
+                p in 0.0f64..100.0,
+            ) {
+                let mut ab = filled(&a);
+                ab.merge(&filled(&b));
+                let mut ba = filled(&b);
+                ba.merge(&filled(&a));
+                prop_assert_eq!(ab.count(), ba.count());
+                prop_assert_eq!(ab.min(), ba.min());
+                prop_assert_eq!(ab.max(), ba.max());
+                prop_assert_eq!(ab.mean(), ba.mean());
+                prop_assert_eq!(ab.percentile(p), ba.percentile(p));
+                prop_assert_eq!(ab.percentile(50.0), ba.percentile(50.0));
+            }
+
+            /// Quantile estimates stay within one bucket width (a factor of
+            /// `GROWTH`) of the exact order statistic at the same rank.
+            #[test]
+            fn quantiles_stay_within_one_bucket_of_exact(
+                samples in prop::collection::vec(0.1f64..1e7, 1..80),
+                p in 0.0f64..100.0,
+            ) {
+                let h = filled(&samples);
+                let mut sorted = samples.clone();
+                sorted.sort_by(f64::total_cmp);
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+                let exact = sorted[rank - 1];
+                let estimate = h.percentile(p);
+                prop_assert!(
+                    estimate >= exact / GROWTH && estimate <= exact * GROWTH,
+                    "estimate {} vs exact {} at p{} (n={})",
+                    estimate,
+                    exact,
+                    p,
+                    sorted.len()
+                );
+            }
+        }
     }
 }

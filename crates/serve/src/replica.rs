@@ -35,6 +35,7 @@ use fanns_scaleout::loggp::{query_message_bytes, result_message_bytes, LogGpPara
 
 use crate::backend::{BackendError, BackendResponse, SearchBackend};
 use crate::metrics::AtomicEwmaUs;
+use crate::telemetry::{batch_traced, Stage, TelemetrySink};
 
 /// Replica lifecycle states (stored in an `AtomicU8`).
 const HEALTHY: u8 = 0;
@@ -245,6 +246,9 @@ pub struct ReplicaSet {
     replica_name: String,
     dim: usize,
     k: usize,
+    /// Optional telemetry sink recording [`Stage::ReplicaService`] spans and
+    /// [`Stage::Failover`] instants for sampled batches.
+    telemetry: Option<TelemetrySink>,
 }
 
 impl ReplicaSet {
@@ -283,7 +287,17 @@ impl ReplicaSet {
             replica_name,
             dim,
             k,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink: sampled batches record a
+    /// [`Stage::ReplicaService`] span around the winning replica's service
+    /// time and a [`Stage::Failover`] instant for each reroute.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = Some(sink);
+        self
     }
 
     /// R replica slots sharing one in-memory executor — the cheap way to
@@ -478,6 +492,12 @@ impl SearchBackend for ReplicaSet {
     }
 
     fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
+        // The engine's per-batch sampling decision arrives via the
+        // thread-local flag; standalone use (no engine above) self-samples.
+        let traced = self
+            .telemetry
+            .as_ref()
+            .filter(|sink| batch_traced().unwrap_or_else(|| sink.self_sample()));
         let mut tried = vec![false; self.replicas.len()];
         let mut attempts = 0usize;
         loop {
@@ -497,6 +517,9 @@ impl SearchBackend for ReplicaSet {
             // not failovers.
             if attempts > 0 {
                 self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                if let Some(sink) = traced {
+                    sink.record_instant(Stage::Failover, idx as u64);
+                }
             }
             tried[idx] = true;
             attempts += 1;
@@ -504,10 +527,14 @@ impl SearchBackend for ReplicaSet {
             c.outstanding.fetch_add(1, Ordering::Relaxed);
             let start = Instant::now();
             let outcome = self.replicas[idx].try_search_batch(queries);
-            let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+            let end = Instant::now();
+            let elapsed_us = end.saturating_duration_since(start).as_secs_f64() * 1e6;
             c.outstanding.fetch_sub(1, Ordering::Relaxed);
             match outcome {
                 Ok(responses) if responses.len() == queries.len() => {
+                    if let Some(sink) = traced {
+                        sink.record_range(Stage::ReplicaService, idx as u64, start, end);
+                    }
                     self.on_success(idx, elapsed_us, queries.len());
                     return Ok(self.annotate(responses, elapsed_us, queries.len()));
                 }

@@ -12,7 +12,10 @@ use std::time::Duration;
 
 use fanns::framework::{Fanns, FannsRequest};
 use fanns::serve::loadgen::{run_open_loop, OpenLoopConfig};
-use fanns::serve::{BatchPolicy, EngineConfig, QueryEngine, QueryResultCache, ResultCacheConfig};
+use fanns::serve::{
+    BatchPolicy, EngineConfig, QueryEngine, QueryResultCache, ResultCacheConfig, TelemetryConfig,
+    TelemetryRegistry,
+};
 use fanns_dataset::synth::SyntheticSpec;
 
 fn main() {
@@ -33,15 +36,19 @@ fn main() {
     //    query-result cache in front of admission. Real traffic repeats
     //    itself; the cache answers the hot set in ~a microsecond without
     //    touching the accelerator.
+    //    Tracing rides along: every 8th query emits per-stage span events,
+    //    and the shutdown report carries the stage-attribution breakdown.
     let backend = Arc::new(generated.into_backend());
     let cache = Arc::new(QueryResultCache::new(ResultCacheConfig::new(128)));
-    let engine = QueryEngine::start_with_cache(
+    let telemetry = Arc::new(TelemetryRegistry::new(TelemetryConfig::new()));
+    let engine = QueryEngine::start_with_telemetry(
         backend,
         EngineConfig::new(BatchPolicy::new(64, Duration::from_micros(500)))
             .with_workers(2)
             .with_queue_depth(4_096)
             .with_slo_us(2_000.0),
         Some(Arc::clone(&cache)),
+        Some(Arc::clone(&telemetry)),
     );
 
     // 3. Serve: open-loop Poisson arrivals at a fixed offered rate, query
@@ -59,6 +66,7 @@ fn main() {
 
     // 4. Report: QPS plus the latency distribution, SLO attainment, and the
     //    cache's share of the work.
+    engine.publish_gauges();
     let report = engine.shutdown();
     println!("\n{}", report.summary());
     println!(
@@ -87,7 +95,21 @@ fn main() {
         cache_report.capacity
     );
 
+    // 5. Where did the time go? The one-screen per-stage breakdown — the
+    //    live-serving analogue of the paper's Fig. 3 bottleneck analysis.
+    let stages = report.stages.as_ref().expect("telemetry attached");
+    println!("\n{}", stages.table());
+
     assert!(report.qps > 0.0, "demo must achieve positive throughput");
+    assert!(
+        stages.sampled_queries > 0,
+        "sampled queries must reach a terminal stage"
+    );
+    assert!(
+        (0.90..=1.10).contains(&stages.reconciliation),
+        "stage sums must account for wall latency (reconciliation {:.3})",
+        stages.reconciliation
+    );
     assert!(
         report.p50_us <= report.p99_us,
         "latency percentiles must be ordered"

@@ -151,6 +151,21 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, Error>;
 }
 
+/// Identity serialisation: a [`Value`] is already the interchange form, so
+/// documents can be read, edited structurally and re-rendered without a
+/// typed schema (read-modify-write of JSON files).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 fn type_error<T>(expected: &str, found: &Value) -> Result<T, Error> {
     Err(Error::new(format!(
         "expected {expected}, found {}",

@@ -14,9 +14,10 @@ use fanns_ivf::search::search;
 use fanns_scaleout::loggp::LogGpParams;
 use fanns_serve::loadgen::{run_closed_loop, run_open_loop, OpenLoopConfig};
 use fanns_serve::{
-    shard_flat_backends, BatchPolicy, CpuBackend, EngineConfig, FaultInjector, FaultMode,
-    FlatBackend, QueryEngine, QueryResultCache, QueryStatus, ReplicaHealthConfig, ReplicaSet,
-    ResultCacheConfig, SearchBackend, Ticket,
+    analyze_critical_paths, chrome_trace_json, shard_flat_backends, BatchPolicy, CpuBackend,
+    EngineConfig, FaultInjector, FaultMode, FlatBackend, QueryEngine, QueryResultCache,
+    QueryStatus, ReplicaHealthConfig, ReplicaSet, ResultCacheConfig, SearchBackend,
+    TelemetryConfig, TelemetryRegistry, Ticket,
 };
 
 #[test]
@@ -314,13 +315,13 @@ fn cached_engine_matches_uncached_engine_on_a_replayed_trace() {
     // (workers insert before delivering the reply), so the async replay
     // below actually exercises the hit path instead of racing 300
     // not-yet-cached submissions into the queue at once.
-    for q in 0..16 {
+    for (q, expected) in expected.iter().enumerate().take(16) {
         let reply = engine
             .submit(queries.get(q).to_vec())
             .unwrap()
             .wait()
             .unwrap();
-        assert_eq!(reply.results, expected[q], "warm query {q}");
+        assert_eq!(reply.results, *expected, "warm query {q}");
     }
     let tickets: Vec<(usize, Ticket)> = trace
         .iter()
@@ -460,4 +461,155 @@ fn open_loop_load_generator_measures_finite_nonzero_rates() {
         report.p99_us
     );
     assert!(report.p50_us <= report.p99_us);
+}
+
+#[test]
+fn traced_engine_matches_untraced_engine_and_reconciles_stage_sums() {
+    // Tracing is observational: with the registry attached (sampling every
+    // query) results must be bit-identical to the untraced engine, the
+    // report must carry the per-stage breakdown, and the telescoping stage
+    // spans must account for measured wall latency.
+    let (db, queries) = SyntheticSpec::sift_small(2028).generate();
+    let index = IvfPqIndex::build(
+        &db,
+        &IvfPqTrainConfig::new(16)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000),
+    );
+    let params = IvfPqParams::new(16, 4, 10).with_m(16);
+
+    let run = |telemetry: Option<Arc<TelemetryRegistry>>| {
+        let mut backend = CpuBackend::new(index.clone(), params);
+        if let Some(reg) = &telemetry {
+            backend = backend.with_telemetry(reg.sink());
+        }
+        let engine = QueryEngine::start_with_telemetry(
+            Arc::new(backend),
+            EngineConfig::new(BatchPolicy::new(16, Duration::from_micros(300))).with_workers(2),
+            None,
+            telemetry,
+        );
+        let tickets: Vec<Ticket> = (0..queries.len())
+            .map(|q| engine.submit(queries.get(q).to_vec()).unwrap())
+            .collect();
+        let replies: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("reply delivered").results)
+            .collect();
+        (replies, engine.shutdown())
+    };
+
+    let (untraced_replies, untraced_report) = run(None);
+    let registry = Arc::new(TelemetryRegistry::new(
+        TelemetryConfig::new().with_sample_every(1),
+    ));
+    let (traced_replies, traced_report) = run(Some(Arc::clone(&registry)));
+
+    assert_eq!(
+        traced_replies, untraced_replies,
+        "tracing must not change results"
+    );
+    assert!(untraced_report.stages.is_none());
+
+    let stages = traced_report.stages.expect("traced report has breakdown");
+    assert_eq!(stages.sample_every, 1);
+    assert_eq!(stages.sampled_queries as usize, queries.len());
+    assert_eq!(stages.dropped, 0, "rings must not overflow at this volume");
+    assert!(
+        (0.95..=1.05).contains(&stages.reconciliation),
+        "path-stage sums must reconcile with wall latency, got {:.3}",
+        stages.reconciliation
+    );
+    // Every query-path stage the engine walks must be present with one span
+    // per query; backend sub-stages must cover every query too.
+    for name in [
+        "submit",
+        "queue_wait",
+        "batch_form",
+        "service",
+        "reply",
+        "wall",
+    ] {
+        let row = stages
+            .rows
+            .iter()
+            .find(|r| r.stage == name)
+            .unwrap_or_else(|| panic!("stage `{name}` missing from breakdown"));
+        assert_eq!(row.count as usize, queries.len(), "stage `{name}` count");
+    }
+    for name in ["coarse", "build_lut", "scan"] {
+        let row = stages
+            .rows
+            .iter()
+            .find(|r| r.stage == name)
+            .unwrap_or_else(|| panic!("backend sub-stage `{name}` missing"));
+        assert_eq!(
+            row.count as usize,
+            queries.len(),
+            "sub-stage `{name}` count"
+        );
+    }
+
+    // The retained events reconstruct per-query critical paths, and the
+    // Chrome trace renders them with the required keys.
+    let events = registry.events();
+    let critical = analyze_critical_paths(&events);
+    assert_eq!(critical.paths.len(), queries.len());
+    for path in &critical.paths {
+        assert!(
+            path.wall_us > 0.0 && path.path_us <= path.wall_us * 1.10,
+            "query {} path {:.1} us vs wall {:.1} us",
+            path.query,
+            path.path_us,
+            path.wall_us
+        );
+    }
+    let trace = chrome_trace_json(&events);
+    let doc = serde_json::parse(&trace).expect("chrome trace parses");
+    let serde::Value::Seq(items) = doc.get("traceEvents").expect("traceEvents key") else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(items.len() >= events.len());
+}
+
+#[test]
+fn sampled_tracing_traces_only_every_nth_query() {
+    // At 1-in-4 sampling only ~a quarter of queries pay for span recording,
+    // and the wall-span count says exactly which fraction was observed.
+    let (db, queries) = SyntheticSpec::sift_small(2029).generate();
+    let index = IvfPqIndex::build(
+        &db,
+        &IvfPqTrainConfig::new(16)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000),
+    );
+    let registry = Arc::new(TelemetryRegistry::new(
+        TelemetryConfig::new().with_sample_every(4),
+    ));
+    let engine = QueryEngine::start_with_telemetry(
+        Arc::new(CpuBackend::new(
+            index,
+            IvfPqParams::new(16, 4, 10).with_m(16),
+        )),
+        EngineConfig::new(BatchPolicy::new(16, Duration::from_micros(300))).with_workers(2),
+        None,
+        Some(Arc::clone(&registry)),
+    );
+    let total = 200usize;
+    let tickets: Vec<Ticket> = (0..total)
+        .map(|q| {
+            engine
+                .submit(queries.get(q % queries.len()).to_vec())
+                .unwrap()
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("reply delivered");
+    }
+    let report = engine.shutdown();
+    let stages = report.stages.expect("breakdown present");
+    // Engine ids count up from 0, so exactly ceil(total/4) are sampled.
+    assert_eq!(stages.sampled_queries as usize, total.div_ceil(4));
 }
