@@ -1,0 +1,307 @@
+//! ADC scan-kernel microbenchmark: kernel x nlist x m sweep over the slab
+//! data plane, one JSON row per point (see README's "scan_kernels" schema).
+//!
+//! ```sh
+//! FANNS_SCALE=small cargo run --release --bin scan_kernels
+//! ```
+//!
+//! Two timed regions per sweep point, both downstream of identical
+//! precomputed probe sets (OPQ, IVFDist, SelCells and the LUT build run
+//! once per query, untimed):
+//!
+//! * **scan** — the distance computation alone (Stage PQDist): for the
+//!   scalar reference, the per-code loop exactly as it shipped before the
+//!   data plane (`stage_pq_dist`: `(id, f32)` tuple pushes into a per-query
+//!   Vec, `lut.adc` one entry at a time); the slab kernel for the rest.
+//!   This is the throughput the tentpole gate tests (`*_mcodes_per_s`,
+//!   `*_gbps`, `*_speedup`).
+//! * **fused** — the full scan+select stage the serving path executes
+//!   (`stage_scan_and_select_with`, Stage PQDist + SelK), reported as
+//!   `*_fused_mcodes_per_s` so the end-to-end win stays visible next to the
+//!   kernel-only number.
+//!
+//! The binary asserts the tentpole target at the end: the best f32 SIMD
+//! *scan* speedup must reach 4x (AVX2 hosts) or 1.5x (portable-only hosts)
+//! over the scalar reference — override with `FANNS_SCAN_GATE` for exotic
+//! hosts. The int8 first pass is reported on the same scale (its quantized
+//! table is built once per query, untimed, exactly as a serving query pays
+//! it once after BuildLUT).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use fanns_bench::baseline;
+use fanns_bench::{print_header, sift_workload, Scale};
+use fanns_dataset::types::QuerySet;
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::search::{
+    stage_build_lut, stage_ivf_dist, stage_opq, stage_scan_and_select_with, stage_sel_cells,
+};
+use fanns_ivf::simd::{avx2_available, int8, kernels, ScanKernel, ScanScratch, ALL_KERNELS};
+use fanns_quantize::pq::{DistanceTable, QuantizedLut};
+
+/// One sweep point, printed as a JSON row.
+#[derive(Debug, Serialize)]
+struct KernelRow {
+    kernel: String,
+    m: usize,
+    nlist: usize,
+    nprobe: usize,
+    k: usize,
+    queries: usize,
+    reps: usize,
+    /// Codes scanned per query (sum of probed list lengths).
+    codes_per_query: f64,
+    /// Scan-only throughput in millions of codes per second.
+    mcodes_per_s: f64,
+    /// Effective slab bandwidth in GB/s (codes x m bytes).
+    scan_gbps: f64,
+    /// Scan-only throughput relative to the scalar reference.
+    speedup_vs_scalar: f64,
+    /// Fused scan+select (Stage PQDist + SelK) throughput, Mcodes/s.
+    fused_mcodes_per_s: f64,
+}
+
+/// Precomputed per-query scan inputs (everything upstream of PQDist).
+struct PreparedQuery {
+    cells: Vec<usize>,
+    lut: DistanceTable,
+    qlut: QuantizedLut,
+}
+
+fn prepare(index: &IvfPqIndex, queries: &QuerySet, nprobe: usize) -> Vec<PreparedQuery> {
+    (0..queries.len())
+        .map(|q| {
+            let rotated = stage_opq(index, queries.get(q));
+            let dists = stage_ivf_dist(index, &rotated);
+            let cells = stage_sel_cells(&dists, nprobe);
+            let lut = stage_build_lut(index, &rotated);
+            let qlut = lut.quantize_i8();
+            PreparedQuery { cells, lut, qlut }
+        })
+        .collect()
+}
+
+/// Total codes one pass over all prepared queries scans.
+fn codes_per_pass(index: &IvfPqIndex, prepared: &[PreparedQuery]) -> usize {
+    prepared
+        .iter()
+        .map(|p| p.cells.iter().map(|&c| index.slab(c).len()).sum::<usize>())
+        .sum()
+}
+
+/// Times `reps` passes of the distance computation alone and returns the
+/// *minimum* single-pass seconds — scheduler noise only ever adds time, so
+/// min-of-reps is the robust throughput estimator on shared hosts.
+/// The scalar reference walks the canonical row-major lists with `lut.adc`;
+/// slab kernels scan the block-transposed slabs.
+fn time_scan(
+    index: &IvfPqIndex,
+    prepared: &[PreparedQuery],
+    kernel: ScanKernel,
+    reps: usize,
+    dists: &mut Vec<f32>,
+    sums: &mut Vec<u32>,
+) -> f64 {
+    let m = index.m();
+    let mut pass = |timed: bool| -> f64 {
+        let start = Instant::now();
+        for p in prepared {
+            if kernel == ScanKernel::Scalar {
+                // The scalar reference is the scan stage exactly as it
+                // shipped before the slab data plane (`stage_pq_dist`): one
+                // `(id, distance)` tuple pushed per code into a per-query
+                // Vec, `lut.adc` gathering m entries one f32 at a time. The
+                // allocation and tuple traffic were part of the cost the
+                // data plane removed, so they are part of the baseline.
+                let mut out: Vec<(u32, f32)> = Vec::new();
+                for &cell in &p.cells {
+                    let list = index.list(cell);
+                    out.reserve(list.len());
+                    for (slot, code) in list.codes.chunks_exact(m).enumerate() {
+                        out.push((list.ids[slot], p.lut.adc(code)));
+                    }
+                }
+                std::hint::black_box(&out);
+                continue;
+            }
+            for &cell in &p.cells {
+                let slab = index.slab(cell);
+                if slab.is_empty() {
+                    continue;
+                }
+                match kernel {
+                    ScanKernel::Scalar => unreachable!("handled above"),
+                    ScanKernel::Portable => {
+                        dists.resize(slab.padded_len(), 0.0);
+                        kernels::scan_f32_portable(slab, &p.lut, dists);
+                    }
+                    ScanKernel::Avx2 => {
+                        dists.resize(slab.padded_len(), 0.0);
+                        kernels::scan_f32_avx2(slab, &p.lut, dists);
+                    }
+                    ScanKernel::Int8 => {
+                        sums.resize(slab.padded_len(), 0);
+                        if avx2_available() {
+                            int8::scan_i8_avx2(slab, &p.qlut, sums);
+                        } else {
+                            int8::scan_i8_portable(slab, &p.qlut, sums);
+                        }
+                    }
+                }
+                std::hint::black_box(&dists);
+                std::hint::black_box(&sums);
+            }
+        }
+        if timed {
+            start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    pass(false); // warm-up: caches hot, buffers grown
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(pass(true));
+    }
+    best
+}
+
+/// Times `reps` passes of the fused scan+select stage and returns the
+/// minimum single-pass seconds (same min-of-reps estimator as `time_scan`).
+fn time_fused(
+    index: &IvfPqIndex,
+    prepared: &[PreparedQuery],
+    k: usize,
+    kernel: ScanKernel,
+    reps: usize,
+    scratch: &mut ScanScratch,
+) -> f64 {
+    for p in prepared {
+        std::hint::black_box(stage_scan_and_select_with(
+            index, &p.cells, &p.lut, k, kernel, scratch,
+        ));
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for p in prepared {
+            std::hint::black_box(stage_scan_and_select_with(
+                index, &p.cells, &p.lut, k, kernel, scratch,
+            ));
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = sift_workload(scale);
+    print_header(
+        "scan_kernels",
+        "ADC scan data plane: kernel x nlist x m throughput sweep",
+    );
+    println!(
+        "dataset: {} vectors x {} dims, {} queries, scale {:?}, avx2={}",
+        workload.database.len(),
+        workload.database.dim(),
+        workload.queries.len(),
+        scale,
+        avx2_available()
+    );
+
+    let k = 10usize;
+    let reps = match scale {
+        Scale::Small => 20,
+        Scale::Medium => 6,
+        Scale::Large => 3,
+    };
+    let grid = scale.nlist_grid();
+    let mut nlists = vec![grid[0], scale.default_nlist()];
+    nlists.dedup();
+
+    let mut canonical: BTreeMap<String, f64> = BTreeMap::new();
+    let mut best_f32_speedup = 0.0f64;
+    for &m in &[8usize, 16] {
+        for &nlist in &nlists {
+            let cfg = IvfPqTrainConfig::new(nlist)
+                .with_m(m)
+                .with_ksub(256)
+                .with_train_sample(30_000)
+                .with_seed(7);
+            let index = IvfPqIndex::build(&workload.database, &cfg);
+            let nprobe = (nlist / 4).clamp(8, nlist);
+            let prepared = prepare(&index, &workload.queries, nprobe);
+            let pass_codes = codes_per_pass(&index, &prepared);
+            let mut scratch = ScanScratch::new();
+            let mut dists = Vec::new();
+            let mut sums = Vec::new();
+
+            let mut scalar_codes_per_s = 0.0f64;
+            for kernel in ALL_KERNELS {
+                if !kernel.is_available() {
+                    eprintln!("scan_kernels: skipping {kernel} (unavailable on this host)");
+                    continue;
+                }
+                let scan_secs = time_scan(&index, &prepared, kernel, reps, &mut dists, &mut sums);
+                let fused_secs = time_fused(&index, &prepared, k, kernel, reps, &mut scratch);
+                let codes_per_s = pass_codes as f64 / scan_secs.max(1e-12);
+                if kernel == ScanKernel::Scalar {
+                    scalar_codes_per_s = codes_per_s;
+                }
+                let speedup = codes_per_s / scalar_codes_per_s.max(1e-12);
+                if matches!(kernel, ScanKernel::Portable | ScanKernel::Avx2) {
+                    best_f32_speedup = best_f32_speedup.max(speedup);
+                }
+                let row = KernelRow {
+                    kernel: kernel.name().to_string(),
+                    m,
+                    nlist,
+                    nprobe,
+                    k,
+                    queries: workload.queries.len(),
+                    reps,
+                    codes_per_query: pass_codes as f64 / workload.queries.len() as f64,
+                    mcodes_per_s: codes_per_s / 1e6,
+                    scan_gbps: codes_per_s * m as f64 / 1e9,
+                    speedup_vs_scalar: speedup,
+                    fused_mcodes_per_s: pass_codes as f64 / fused_secs.max(1e-12) / 1e6,
+                };
+                println!(
+                    "{}",
+                    serde_json::to_string(&row).expect("kernel row serialises")
+                );
+                let key = format!("m{m}_nlist{nlist}_{kernel}");
+                canonical.insert(format!("{key}_mcodes_per_s"), row.mcodes_per_s);
+                canonical.insert(format!("{key}_gbps"), row.scan_gbps);
+                canonical.insert(format!("{key}_speedup"), row.speedup_vs_scalar);
+                canonical.insert(format!("{key}_fused_mcodes_per_s"), row.fused_mcodes_per_s);
+            }
+        }
+    }
+
+    let out = baseline::update_section(&baseline::bench_out_path(), "scan_kernels", &canonical);
+    eprintln!(
+        "scan_kernels: wrote {} metrics to {}",
+        canonical.len(),
+        out.display()
+    );
+
+    // The tentpole acceptance gate: vectorized f32 scan must beat the scalar
+    // reference by 4x with AVX2 (1.5x portable-only). Loose enough to
+    // tolerate host noise, tight enough to catch a data-plane collapse.
+    let default_gate = if avx2_available() { 4.0 } else { 1.5 };
+    let gate = std::env::var("FANNS_SCAN_GATE")
+        .ok()
+        .and_then(|raw| raw.parse::<f64>().ok())
+        .filter(|g| g.is_finite() && *g >= 0.0)
+        .unwrap_or(default_gate);
+    println!("best f32 SIMD scan speedup vs scalar: {best_f32_speedup:.2}x (gate: >={gate:.2}x)");
+    assert!(
+        best_f32_speedup >= gate,
+        "f32 SIMD scan speedup {best_f32_speedup:.2}x under the {gate:.2}x gate"
+    );
+}

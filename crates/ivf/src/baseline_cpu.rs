@@ -15,7 +15,10 @@ use fanns_dataset::types::QuerySet;
 
 use crate::index::IvfPqIndex;
 use crate::params::IvfPqParams;
-use crate::search::{search, search_with_timings, SearchResult, StageTimings};
+use crate::search::{
+    search, search_with_kernel, search_with_timings_kernel, SearchResult, StageTimings,
+};
+use crate::simd::{self, ScanKernel, ScanScratch};
 
 /// Throughput/latency measurement for a batch run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,6 +82,9 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 pub struct CpuSearcher<'a> {
     index: &'a IvfPqIndex,
     params: IvfPqParams,
+    /// Scan kernel override; `None` rides the process default
+    /// ([`simd::default_kernel`]).
+    kernel: Option<ScanKernel>,
 }
 
 impl<'a> CpuSearcher<'a> {
@@ -90,7 +96,23 @@ impl<'a> CpuSearcher<'a> {
             "params.nlist must match the index"
         );
         assert_eq!(params.m, index.m(), "params.m must match the index");
-        Self { index, params }
+        Self {
+            index,
+            params,
+            kernel: None,
+        }
+    }
+
+    /// Builder-style scan-kernel pin (benches and the per-kernel Figure 3
+    /// breakdown; serving paths normally ride the process default).
+    pub fn with_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// The scan kernel this searcher executes.
+    pub fn kernel(&self) -> ScanKernel {
+        self.kernel.unwrap_or_else(simd::default_kernel)
     }
 
     /// The bound parameters.
@@ -100,12 +122,22 @@ impl<'a> CpuSearcher<'a> {
 
     /// Searches a single query.
     pub fn search_one(&self, query: &[f32]) -> Vec<SearchResult> {
-        search(
-            self.index,
-            query,
-            self.params.k,
-            self.params.effective_nprobe(),
-        )
+        match self.kernel {
+            None => search(
+                self.index,
+                query,
+                self.params.k,
+                self.params.effective_nprobe(),
+            ),
+            Some(kernel) => search_with_kernel(
+                self.index,
+                query,
+                self.params.k,
+                self.params.effective_nprobe(),
+                kernel,
+                &mut ScanScratch::new(),
+            ),
+        }
     }
 
     /// Searches every query in parallel (offline batch mode), returning the
@@ -153,16 +185,22 @@ impl<'a> CpuSearcher<'a> {
     }
 
     /// Runs every query sequentially with per-stage instrumentation and
-    /// returns the aggregate breakdown (the Figure 3 measurement).
+    /// returns the aggregate breakdown (the Figure 3 measurement). One
+    /// scratch (candidate buffer + kernel lanes) is reused across all
+    /// queries, so Stage PQDist measures the scan, not allocator growth.
     pub fn profile_stages(&self, queries: &QuerySet) -> StageTimings {
         let mut timings = StageTimings::default();
+        let mut scratch = ScanScratch::new();
+        let kernel = self.kernel();
         for q in 0..queries.len() {
-            let _ = search_with_timings(
+            let _ = search_with_timings_kernel(
                 self.index,
                 queries.get(q),
                 self.params.k,
                 self.params.effective_nprobe(),
+                kernel,
                 &mut timings,
+                &mut scratch,
             );
         }
         timings

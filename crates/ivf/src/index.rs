@@ -21,6 +21,8 @@ use fanns_quantize::kmeans::{KMeans, KMeansConfig};
 use fanns_quantize::opq::{train_opq, OpqConfig, OpqTransform};
 use fanns_quantize::pq::{PqConfig, ProductQuantizer};
 
+use crate::simd::CodeSlab;
+
 /// One inverted list: the ids and PQ codes of the vectors in one Voronoi cell.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct InvertedList {
@@ -115,6 +117,10 @@ pub struct IvfPqIndex {
     opq: Option<OpqTransform>,
     pq: ProductQuantizer,
     lists: Vec<InvertedList>,
+    /// Per-list 64-byte-aligned block-transposed code mirrors — the layout
+    /// the SIMD scan kernels stream (`lists[c].codes` stays the canonical
+    /// row-major form the hardware simulator and serializers read).
+    slabs: Vec<CodeSlab>,
     ntotal: usize,
     config: IvfPqTrainConfig,
 }
@@ -197,6 +203,7 @@ impl IvfPqIndex {
             opq,
             pq,
             lists: vec![InvertedList::default(); config.nlist],
+            slabs: vec![CodeSlab::from_codes(&[], config.m); config.nlist],
             ntotal: 0,
             config: *config,
         }
@@ -230,12 +237,21 @@ impl IvfPqIndex {
             })
             .collect();
 
+        let mut touched = vec![false; self.lists.len()];
         for (i, (cell, code)) in prepared.into_iter().enumerate() {
             let list = &mut self.lists[cell];
             list.ids.push((id_offset + i) as u32);
             list.codes.extend_from_slice(&code);
+            touched[cell] = true;
         }
         self.ntotal += n;
+        // Refresh the transposed scan mirrors of every list that grew.
+        let m = self.pq.m();
+        for (cell, touched) in touched.into_iter().enumerate() {
+            if touched {
+                self.slabs[cell] = CodeSlab::from_codes(&self.lists[cell].codes, m);
+            }
+        }
     }
 
     /// Vector dimensionality.
@@ -286,6 +302,19 @@ impl IvfPqIndex {
     /// Borrow inverted list `cell`.
     pub fn list(&self, cell: usize) -> &InvertedList {
         &self.lists[cell]
+    }
+
+    /// Borrow the block-transposed scan slab of cell `cell` (same codes as
+    /// [`IvfPqIndex::list`], laid out for the SIMD kernels — see
+    /// [`crate::simd::slab`]).
+    pub fn slab(&self, cell: usize) -> &CodeSlab {
+        &self.slabs[cell]
+    }
+
+    /// Size in bytes of the transposed scan mirrors (tail padding included)
+    /// — the extra resident memory the SIMD data plane costs.
+    pub fn slab_bytes(&self) -> usize {
+        self.slabs.iter().map(|s| s.nbytes()).sum()
     }
 
     /// Sizes of every inverted list.
@@ -388,6 +417,22 @@ mod tests {
             .unwrap();
         assert_eq!(min_id, 1_000);
         assert_eq!(index.ntotal(), db.len());
+    }
+
+    #[test]
+    fn slabs_mirror_list_codes() {
+        let (db, _) = SyntheticSpec::sift_small(7).generate();
+        let mut index = IvfPqIndex::train(&db, &tiny_config(8));
+        index.add(&db, 0);
+        index.add(&db, db.len());
+        for c in 0..index.nlist() {
+            let list = index.list(c);
+            let slab = index.slab(c);
+            assert_eq!(slab.len(), list.len(), "cell {c}");
+            assert_eq!(slab.m(), index.m());
+            assert_eq!(slab.to_flat_codes(), list.codes, "cell {c}");
+        }
+        assert!(index.slab_bytes() >= index.code_bytes());
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //!   to reproduce the bottleneck analysis of Figure 3,
 //! * [`flat`] — an exact flat index used for ground truth and sanity checks,
 //! * [`baseline_cpu`] — the multithreaded batch/online CPU searcher standing
-//!   in for the paper's Faiss CPU baseline.
+//!   in for the paper's Faiss CPU baseline,
+//! * [`simd`] — the vectorized ADC scan data plane: 64-byte-aligned
+//!   block-transposed code slabs, AVX2/portable f32 kernels (bit-identical
+//!   to the scalar reference) and an int8-quantized-LUT fast pass with
+//!   exact re-ranking, runtime-dispatched per host (see
+//!   `docs/DATA_PLANE.md`).
 
 #![warn(missing_docs)]
 
@@ -21,9 +26,11 @@ pub mod flat;
 pub mod index;
 pub mod params;
 pub mod search;
+pub mod simd;
 
 pub use baseline_cpu::CpuSearcher;
 pub use flat::FlatIndex;
 pub use index::{IvfPqIndex, IvfPqTrainConfig};
 pub use params::{IvfPqParams, SearchStage, ALL_STAGES};
 pub use search::{SearchResult, StageTimings};
+pub use simd::{CodeSlab, ScanKernel, ScanScratch};

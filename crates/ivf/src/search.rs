@@ -12,6 +12,7 @@ use fanns_quantize::pq::DistanceTable;
 
 use crate::index::IvfPqIndex;
 use crate::params::{SearchStage, ALL_STAGES};
+use crate::simd::{self, ScanKernel, ScanScratch};
 
 /// One search hit: database id and approximated squared distance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +91,10 @@ impl StageTimings {
 #[derive(Debug, Clone)]
 pub struct TopK {
     k: usize,
+    // Cached rejection threshold: +inf until the heap fills, then the root
+    // distance. Keeping it in a dedicated field makes the common reject in
+    // `push` a single load + compare with no heap access.
+    threshold: f32,
     // (distance, id), organised as a binary max-heap on distance.
     heap: Vec<(f32, u32)>,
 }
@@ -99,6 +104,7 @@ impl TopK {
     pub fn new(k: usize) -> Self {
         Self {
             k: k.max(1),
+            threshold: f32::INFINITY,
             heap: Vec::with_capacity(k.max(1)),
         }
     }
@@ -116,22 +122,33 @@ impl TopK {
     /// Current worst (largest) retained distance, or infinity if not full.
     #[inline]
     pub fn threshold(&self) -> f32 {
-        if self.heap.len() < self.k {
-            f32::INFINITY
-        } else {
-            self.heap[0].0
-        }
+        self.threshold
     }
 
     /// Offers a candidate; it is kept only if it beats the current threshold.
+    /// The common scan-loop case — a full heap rejecting a far candidate —
+    /// is one comparison against the cached threshold.
     #[inline]
     pub fn push(&mut self, distance: f32, id: u32) {
+        if distance >= self.threshold {
+            return;
+        }
+        self.insert(distance, id);
+    }
+
+    /// The accept path of [`TopK::push`], kept out of line so the reject
+    /// fast path stays small enough to inline into scan loops.
+    fn insert(&mut self, distance: f32, id: u32) {
         if self.heap.len() < self.k {
             self.heap.push((distance, id));
             self.sift_up(self.heap.len() - 1);
+            if self.heap.len() == self.k {
+                self.threshold = self.heap[0].0;
+            }
         } else if distance < self.heap[0].0 {
             self.heap[0] = (distance, id);
             self.sift_down(0);
+            self.threshold = self.heap[0].0;
         }
     }
 
@@ -214,33 +231,91 @@ pub fn stage_build_lut(index: &IvfPqIndex, query: &[f32]) -> DistanceTable {
     index.pq().build_distance_table(query)
 }
 
+std::thread_local! {
+    // Per-thread kernel scratch for the entry points that keep the original
+    // scratch-less signatures: each engine/rayon worker reuses its buffers
+    // across queries instead of allocating per call.
+    static SCAN_SCRATCH: std::cell::RefCell<ScanScratch> =
+        std::cell::RefCell::new(ScanScratch::new());
+}
+
 /// Stages PQDist + SelK fused: scan the selected cells, computing ADC
 /// distances and keeping the best `k`. The two stages are fused here for
 /// cache efficiency (as Faiss does); [`search_with_timings`] still reports
 /// them separately by running PQDist into a buffer first.
+///
+/// Executes on the process-default kernel ([`simd::default_kernel`]):
+/// the AVX2 slab kernel when the host supports it, the portable chunked
+/// kernel otherwise, or whatever `FANNS_SCAN_KERNEL` forces. Use
+/// [`stage_scan_and_select_with`] to pin a kernel explicitly.
 pub fn stage_scan_and_select(
     index: &IvfPqIndex,
     cells: &[usize],
     lut: &DistanceTable,
     k: usize,
 ) -> Vec<SearchResult> {
-    let m = index.m();
-    let mut topk = TopK::new(k);
-    for &cell in cells {
-        let list = index.list(cell);
-        for (slot, code) in list.codes.chunks_exact(m).enumerate() {
-            let d = lut.adc(code);
-            topk.push(d, list.ids[slot]);
+    SCAN_SCRATCH.with(|scratch| {
+        stage_scan_and_select_with(
+            index,
+            cells,
+            lut,
+            k,
+            simd::default_kernel(),
+            &mut scratch.borrow_mut(),
+        )
+    })
+}
+
+/// [`stage_scan_and_select`] with an explicit kernel and caller-owned
+/// scratch. The f32 kernels (`Scalar`/`Portable`/`Avx2`) return bit-identical
+/// results; `Int8` re-ranks its quantized first pass with exact f32 ADC.
+pub fn stage_scan_and_select_with(
+    index: &IvfPqIndex,
+    cells: &[usize],
+    lut: &DistanceTable,
+    k: usize,
+    kernel: ScanKernel,
+    scratch: &mut ScanScratch,
+) -> Vec<SearchResult> {
+    match kernel {
+        ScanKernel::Scalar => {
+            let m = index.m();
+            let mut topk = TopK::new(k);
+            for &cell in cells {
+                let list = index.list(cell);
+                for (slot, code) in list.codes.chunks_exact(m).enumerate() {
+                    let d = lut.adc(code);
+                    topk.push(d, list.ids[slot]);
+                }
+            }
+            topk.into_sorted()
         }
+        ScanKernel::Portable | ScanKernel::Avx2 => {
+            simd::scan_and_select_f32(index, cells, lut, k, kernel, scratch)
+        }
+        ScanKernel::Int8 => simd::scan_and_select_int8(index, cells, lut, k, scratch),
     }
-    topk.into_sorted()
 }
 
 /// Stage PQDist alone: ADC distances for every code in the selected cells.
 /// Returns (id, distance) pairs in scan order.
 pub fn stage_pq_dist(index: &IvfPqIndex, cells: &[usize], lut: &DistanceTable) -> Vec<(u32, f32)> {
-    let m = index.m();
     let mut out = Vec::new();
+    stage_pq_dist_into(index, cells, lut, &mut out);
+    out
+}
+
+/// [`stage_pq_dist`] into a caller-owned buffer (cleared, then filled in
+/// scan order). Reusing one buffer across queries removes the per-call
+/// `Vec` growth from the instrumented pipeline.
+pub fn stage_pq_dist_into(
+    index: &IvfPqIndex,
+    cells: &[usize],
+    lut: &DistanceTable,
+    out: &mut Vec<(u32, f32)>,
+) {
+    let m = index.m();
+    out.clear();
     for &cell in cells {
         let list = index.list(cell);
         out.reserve(list.len());
@@ -248,7 +323,6 @@ pub fn stage_pq_dist(index: &IvfPqIndex, cells: &[usize], lut: &DistanceTable) -
             out.push((list.ids[slot], lut.adc(code)));
         }
     }
-    out
 }
 
 /// Stage SelK alone: select the `k` best candidates from the PQDist output.
@@ -260,13 +334,31 @@ pub fn stage_sel_k(candidates: &[(u32, f32)], k: usize) -> Vec<SearchResult> {
     topk.into_sorted()
 }
 
-/// Runs a full query through the six stages (fused PQDist/SelK fast path).
+/// Runs a full query through the six stages (fused PQDist/SelK fast path)
+/// on the process-default scan kernel.
 pub fn search(index: &IvfPqIndex, query: &[f32], k: usize, nprobe: usize) -> Vec<SearchResult> {
     let rotated = stage_opq(index, query);
     let dists = stage_ivf_dist(index, &rotated);
     let cells = stage_sel_cells(&dists, nprobe);
     let lut = stage_build_lut(index, &rotated);
     stage_scan_and_select(index, &cells, &lut, k)
+}
+
+/// [`search`] with an explicit scan kernel and caller-owned scratch (the
+/// serving backends pin their kernel once and reuse one scratch per batch).
+pub fn search_with_kernel(
+    index: &IvfPqIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    kernel: ScanKernel,
+    scratch: &mut ScanScratch,
+) -> Vec<SearchResult> {
+    let rotated = stage_opq(index, query);
+    let dists = stage_ivf_dist(index, &rotated);
+    let cells = stage_sel_cells(&dists, nprobe);
+    let lut = stage_build_lut(index, &rotated);
+    stage_scan_and_select_with(index, &cells, &lut, k, kernel, scratch)
 }
 
 /// Runs a full query keeping the stages separate and timing each one.
@@ -278,6 +370,32 @@ pub fn search_with_timings(
     k: usize,
     nprobe: usize,
     timings: &mut StageTimings,
+) -> Vec<SearchResult> {
+    SCAN_SCRATCH.with(|scratch| {
+        search_with_timings_kernel(
+            index,
+            query,
+            k,
+            nprobe,
+            simd::default_kernel(),
+            timings,
+            &mut scratch.borrow_mut(),
+        )
+    })
+}
+
+/// [`search_with_timings`] with an explicit scan kernel — the measurement
+/// behind the per-kernel Figure 3 breakdown. Stage PQDist runs the chosen
+/// kernel into the scratch's reused candidate buffer (no per-query `Vec`
+/// growth); SelK selects from that buffer as before.
+pub fn search_with_timings_kernel(
+    index: &IvfPqIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    kernel: ScanKernel,
+    timings: &mut StageTimings,
+    scratch: &mut ScanScratch,
 ) -> Vec<SearchResult> {
     let t0 = Instant::now();
     let rotated = stage_opq(index, query);
@@ -296,11 +414,31 @@ pub fn search_with_timings(
     let t4 = Instant::now();
     timings.record(SearchStage::BuildLut, t4 - t3);
 
-    let candidates = stage_pq_dist(index, &cells, &lut);
+    simd::scan_pairs(index, &cells, &lut, kernel, scratch);
     let t5 = Instant::now();
     timings.record(SearchStage::PqDist, t5 - t4);
 
-    let results = stage_sel_k(&candidates, k);
+    let results = match kernel {
+        // The int8 split path carries first-pass distances; re-rank the
+        // top candidates exactly as the fused path does so results match.
+        ScanKernel::Int8 => {
+            let mut approx = TopK::new(simd::rerank_depth(k));
+            for &(id, d) in scratch.pairs() {
+                approx.push(d, id);
+            }
+            let survivors: std::collections::HashSet<u32> =
+                approx.into_sorted().into_iter().map(|r| r.id).collect();
+            let exact = stage_pq_dist(index, &cells, &lut);
+            let mut topk = TopK::new(k);
+            for (id, d) in exact {
+                if survivors.contains(&id) {
+                    topk.push(d, id);
+                }
+            }
+            topk.into_sorted()
+        }
+        _ => stage_sel_k(scratch.pairs(), k),
+    };
     let t6 = Instant::now();
     timings.record(SearchStage::SelK, t6 - t5);
 

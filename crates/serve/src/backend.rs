@@ -18,9 +18,10 @@ use fanns_ivf::flat::FlatIndex;
 use fanns_ivf::index::IvfPqIndex;
 use fanns_ivf::params::IvfPqParams;
 use fanns_ivf::search::{
-    search, stage_build_lut, stage_ivf_dist, stage_opq, stage_scan_and_select, stage_sel_cells,
-    SearchResult,
+    search_with_kernel, stage_build_lut, stage_ivf_dist, stage_opq, stage_scan_and_select_with,
+    stage_sel_cells, SearchResult,
 };
+use fanns_ivf::simd::{default_kernel, ScanKernel, ScanScratch};
 
 use crate::cache::CentroidLutCache;
 use crate::telemetry::{batch_traced, Stage, TelemetrySink};
@@ -129,6 +130,9 @@ pub struct CpuBackend {
     /// Optional telemetry sink for pipeline sub-stage spans (coarse
     /// quantization / LUT build / ADC scan).
     telemetry: Option<TelemetrySink>,
+    /// Scan kernel override; `None` rides the process default
+    /// ([`fanns_ivf::simd::default_kernel`]).
+    kernel: Option<ScanKernel>,
 }
 
 impl CpuBackend {
@@ -148,7 +152,22 @@ impl CpuBackend {
             params,
             lut_cache: None,
             telemetry: None,
+            kernel: None,
         }
+    }
+
+    /// Builder-style scan-kernel pin: forces every query this backend serves
+    /// through the given ADC scan kernel instead of the process default.
+    /// The f32 kernels are bit-identical; [`ScanKernel::Int8`] trades the
+    /// quantized first pass for exact re-ranking (recall-preserving).
+    pub fn with_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// The ADC scan kernel this backend executes.
+    pub fn kernel(&self) -> ScanKernel {
+        self.kernel.unwrap_or_else(default_kernel)
     }
 
     /// Builder-style switch for the hot-cell centroid-distance cache (see
@@ -194,7 +213,12 @@ impl CpuBackend {
     /// One query through the cached pipeline: reuse (or compute and memoize)
     /// the probe cells + LUT, then scan. Stage order and arithmetic match
     /// [`fanns_ivf::search::search`] exactly.
-    fn search_cached(&self, cache: &CentroidLutCache, query: &[f32]) -> Vec<SearchResult> {
+    fn search_cached(
+        &self,
+        cache: &CentroidLutCache,
+        query: &[f32],
+        scratch: &mut ScanScratch,
+    ) -> Vec<SearchResult> {
         let entry = match cache.get(query) {
             Some(entry) => entry,
             None => {
@@ -209,22 +233,42 @@ impl CpuBackend {
         };
         let (cells, lut) = (&entry.0, &entry.1);
         cache.record_probes(cells);
-        stage_scan_and_select(&self.index, cells, lut, self.params.k)
+        stage_scan_and_select_with(
+            &self.index,
+            cells,
+            lut,
+            self.params.k,
+            self.kernel(),
+            scratch,
+        )
     }
 
     /// One query through the staged pipeline with sub-stage spans recorded.
     /// Calls the same `stage_*` kernels the fused [`search`] composes, so
     /// results are bit-identical to the untraced path; the only extra work
     /// is four `Instant::now()` reads and three ring pushes.
-    fn search_traced(&self, sink: &TelemetrySink, query: &[f32]) -> Vec<SearchResult> {
+    fn search_traced(
+        &self,
+        sink: &TelemetrySink,
+        query: &[f32],
+        scratch: &mut ScanScratch,
+    ) -> Vec<SearchResult> {
         let qid = sink.next_id();
+        let kernel = self.kernel();
         if let Some(cache) = &self.lut_cache {
             if let Some(entry) = cache.get(query) {
                 // Cached hit: coarse quantization and LUT build are
                 // memoized away; only the scan runs (and is recorded).
                 cache.record_probes(&entry.0);
                 let t0 = std::time::Instant::now();
-                let results = stage_scan_and_select(&self.index, &entry.0, &entry.1, self.params.k);
+                let results = stage_scan_and_select_with(
+                    &self.index,
+                    &entry.0,
+                    &entry.1,
+                    self.params.k,
+                    kernel,
+                    scratch,
+                );
                 sink.record_range(Stage::Scan, qid, t0, std::time::Instant::now());
                 return results;
             }
@@ -245,7 +289,8 @@ impl CpuBackend {
             }
             None => (cells, lut),
         };
-        let results = stage_scan_and_select(&self.index, &cells, &lut, self.params.k);
+        let results =
+            stage_scan_and_select_with(&self.index, &cells, &lut, self.params.k, kernel, scratch);
         let t3 = std::time::Instant::now();
         sink.record_range(Stage::Coarse, qid, t0, t1);
         sink.record_range(Stage::BuildLut, qid, t1, t2);
@@ -261,9 +306,10 @@ impl SearchBackend for CpuBackend {
             None => "",
         };
         format!(
-            "cpu-ivfpq({}, nprobe={}{cache})",
+            "cpu-ivfpq({}, nprobe={}, scan={}{cache})",
             self.params.index_label(),
-            self.params.effective_nprobe()
+            self.params.effective_nprobe(),
+            self.kernel()
         )
     }
 
@@ -282,18 +328,25 @@ impl SearchBackend for CpuBackend {
             let on = batch_traced().unwrap_or_else(|| sink.self_sample());
             on.then_some(sink)
         });
+        // One scratch (kernel lanes + candidate buffers) amortized over the
+        // whole batch; each engine worker drives its own backend call, so
+        // this stays free of cross-thread contention.
+        let mut scratch = ScanScratch::new();
+        let kernel = self.kernel();
         queries
             .iter()
             .map(|q| BackendResponse {
                 results: match traced {
-                    Some(sink) => self.search_traced(sink, q),
+                    Some(sink) => self.search_traced(sink, q, &mut scratch),
                     None => match &self.lut_cache {
-                        Some(cache) => self.search_cached(cache, q),
-                        None => search(
+                        Some(cache) => self.search_cached(cache, q, &mut scratch),
+                        None => search_with_kernel(
                             &self.index,
                             q,
                             self.params.k,
                             self.params.effective_nprobe(),
+                            kernel,
+                            &mut scratch,
                         ),
                     },
                 },
@@ -412,6 +465,7 @@ mod tests {
     use fanns_dataset::synth::SyntheticSpec;
     use fanns_hwsim::config::AcceleratorConfig;
     use fanns_ivf::index::IvfPqTrainConfig;
+    use fanns_ivf::search::search;
 
     fn small_index() -> (fanns_dataset::types::QuerySet, IvfPqIndex) {
         let (db, queries) = SyntheticSpec::sift_small(91).generate();
