@@ -123,7 +123,7 @@ pub fn sections(path: &Path) -> Vec<String> {
 /// throughputs) — the direction [`compare`] tests against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
-    /// Lower is better (`*_us` latency metrics).
+    /// Lower is better (`*_us`/`*_ms` latencies, `*_ratio` cost ratios).
     LowerIsBetter,
     /// Higher is better (throughput, hit rates — everything else).
     HigherIsBetter,
@@ -131,7 +131,7 @@ pub enum Direction {
 
 /// Infers the improvement direction from the metric name suffix.
 pub fn direction_of(metric: &str) -> Direction {
-    if metric.ends_with("_us") {
+    if metric.ends_with("_us") || metric.ends_with("_ms") || metric.ends_with("_ratio") {
         Direction::LowerIsBetter
     } else {
         Direction::HigherIsBetter
@@ -310,6 +310,11 @@ mod tests {
     fn direction_inference_uses_latency_suffix() {
         assert_eq!(direction_of("p50_us"), Direction::LowerIsBetter);
         assert_eq!(direction_of("miss_p50_us"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("open_ms"), Direction::LowerIsBetter);
+        assert_eq!(
+            direction_of("open_over_build_ratio"),
+            Direction::LowerIsBetter
+        );
         assert_eq!(direction_of("qps"), Direction::HigherIsBetter);
         assert_eq!(direction_of("hit_rate"), Direction::HigherIsBetter);
     }

@@ -1,0 +1,138 @@
+//! Cold-start sweep for the on-disk index format: build → save → `mmap`-open
+//! → warm, with the open/build ratio gated and baselined.
+//!
+//! ```sh
+//! FANNS_SCALE=small cargo run --release --bin load_index
+//! ```
+//!
+//! The ROADMAP north-star for the storage work is restarts that cost
+//! approximately nothing: a serving process should `mmap` a saved index and
+//! answer its first query without retraining k-means or re-encoding the
+//! database. This bench measures exactly that on the SIFT-scale synthetic
+//! workload:
+//!
+//! 1. **build** — full in-memory training + population (the cost a restart
+//!    pays *without* the storage layer),
+//! 2. **write** — serialising the index to the versioned checksummed format,
+//! 3. **open** — `mmap` + full checksum/alignment validation
+//!    ([`fanns_ivf::storage::open_index`]) — the cold-start cost,
+//! 4. **warm** — eager scan-slab rebuild ([`fanns_ivf::storage::MappedIndex::warm`]).
+//!
+//! After the sweep the mapped index must answer a probe batch bit-identically
+//! to the heap index on every scan kernel, and the gate
+//! `open < 5% of build` (override with `FANNS_LOAD_GATE`, a fraction) must
+//! hold; both are hard process-exit failures. Metrics land in the
+//! `load_index` section of `BENCH_serve.json` via the usual
+//! read-modify-write ([`fanns_bench::baseline`]).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use fanns_bench::{baseline, build_index, print_header, sift_workload, Scale};
+use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::simd::ALL_KERNELS;
+use fanns_ivf::storage::open_index;
+use fanns_ivf::CpuSearcher;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "load_index",
+        "on-disk format cold start: build vs save/mmap-open/warm",
+    );
+    let workload = sift_workload(scale);
+    let nlist = scale.default_nlist();
+
+    // This bench *measures* the build; the figure-binary index cache would
+    // short-circuit it and corrupt the open/build ratio.
+    std::env::remove_var("FANNS_INDEX_DIR");
+
+    let t_build = Instant::now();
+    let index = build_index(&workload, nlist, false, 42);
+    let build_s = t_build.elapsed().as_secs_f64();
+
+    let dir = std::env::temp_dir().join(format!("fanns-load-index-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("sift.fanns");
+
+    let t_write = Instant::now();
+    let bytes = index.write_index(&path).expect("write index");
+    let write_s = t_write.elapsed().as_secs_f64();
+
+    let t_open = Instant::now();
+    let mapped = open_index(&path).expect("open index");
+    let open_s = t_open.elapsed().as_secs_f64();
+
+    let t_warm = Instant::now();
+    let slab_bytes = mapped.warm();
+    let warm_s = t_warm.elapsed().as_secs_f64();
+
+    println!(
+        "n={} nlist={nlist} file={:.1} MiB slabs={:.1} MiB",
+        workload.database.len(),
+        bytes as f64 / (1024.0 * 1024.0),
+        slab_bytes as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "build={:.3}s write={:.3}s open={:.6}s warm={:.6}s",
+        build_s, write_s, open_s, warm_s
+    );
+
+    // Equivalence probe: the mapped index must return bit-identical results
+    // on every kernel (the full battery lives in the test suites; this is
+    // the bench's own sanity tripwire).
+    let params = IvfPqParams::new(nlist, (nlist / 8).max(1), 10).with_m(16);
+    let probes = workload.queries.len().min(16);
+    for kernel in ALL_KERNELS {
+        if !kernel.is_available() {
+            continue;
+        }
+        let heap = CpuSearcher::new(&index, params).with_kernel(kernel);
+        let disk = CpuSearcher::new(&mapped, params).with_kernel(kernel);
+        for q in 0..probes {
+            let query = workload.queries.get(q);
+            assert_eq!(
+                heap.search_one(query),
+                disk.search_one(query),
+                "mapped search diverged from heap search (kernel {kernel}, query {q})"
+            );
+        }
+        println!("equivalence[{kernel}]: {probes} queries bit-identical");
+    }
+
+    // The acceptance gate: opening the saved index must cost a small
+    // fraction of building it. 5% is the issue's criterion; FANNS_LOAD_GATE
+    // loosens it for pathological hosts (e.g. cold page cache on NFS).
+    let gate = std::env::var("FANNS_LOAD_GATE")
+        .ok()
+        .and_then(|raw| raw.parse::<f64>().ok())
+        .filter(|g| g.is_finite() && *g > 0.0)
+        .unwrap_or(0.05);
+    let ratio = open_s / build_s.max(1e-12);
+    println!(
+        "cold-start ratio: open/build = {:.4} (gate {:.2})",
+        ratio, gate
+    );
+    assert!(
+        ratio < gate,
+        "open_index took {ratio:.4}× the in-memory build (gate {gate:.2})"
+    );
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("build_ms".to_string(), build_s * 1e3);
+    metrics.insert("write_ms".to_string(), write_s * 1e3);
+    metrics.insert("open_ms".to_string(), open_s * 1e3);
+    metrics.insert("warm_ms".to_string(), warm_s * 1e3);
+    metrics.insert("open_over_build_ratio".to_string(), ratio);
+    metrics.insert("file_mib".to_string(), bytes as f64 / (1024.0 * 1024.0));
+    metrics.insert(
+        "slab_mib".to_string(),
+        slab_bytes as f64 / (1024.0 * 1024.0),
+    );
+    metrics.insert("vectors".to_string(), workload.database.len() as f64);
+    let out = baseline::update_section(&baseline::bench_out_path(), "load_index", &metrics);
+    println!("baseline section `load_index` -> {}", out.display());
+
+    drop(mapped);
+    let _ = std::fs::remove_dir_all(&dir);
+}

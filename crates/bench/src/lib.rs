@@ -117,6 +117,13 @@ fn build_workload(name: &str, spec: SyntheticSpec) -> Workload {
 }
 
 /// Builds an IVF-PQ index on a workload with the paper's m=16 codes.
+///
+/// When `FANNS_INDEX_DIR` names a directory, built indexes are persisted
+/// there in the on-disk storage format (`fanns_ivf::storage`) keyed by the
+/// workload/parameter fingerprint, and subsequent runs `mmap`-load instead
+/// of retraining — the figure binaries then start in milliseconds. A cache
+/// file that fails validation (corruption, format bump) is rebuilt, not
+/// trusted.
 pub fn build_index(workload: &Workload, nlist: usize, opq: bool, seed: u64) -> IvfPqIndex {
     let cfg = IvfPqTrainConfig::new(nlist)
         .with_m(16)
@@ -124,7 +131,49 @@ pub fn build_index(workload: &Workload, nlist: usize, opq: bool, seed: u64) -> I
         .with_opq(opq)
         .with_train_sample(30_000)
         .with_seed(seed);
-    IvfPqIndex::build(&workload.database, &cfg)
+    let cache_path = std::env::var_os("FANNS_INDEX_DIR").map(|dir| {
+        std::path::PathBuf::from(dir).join(format!(
+            "{}-n{}-nlist{nlist}-opq{}-seed{seed}.fanns",
+            workload.name.to_lowercase().replace([' ', '/'], "_"),
+            workload.database.len(),
+            u8::from(opq),
+        ))
+    });
+    if let Some(path) = &cache_path {
+        if path.is_file() {
+            match fanns_ivf::storage::open_index(path) {
+                Ok(mapped) => {
+                    let start = std::time::Instant::now();
+                    let index = mapped.to_owned_index();
+                    println!(
+                        "[index-cache] loaded {} in {:.1} ms (cold start, mmap)",
+                        path.display(),
+                        start.elapsed().as_secs_f64() * 1e3
+                    );
+                    if index.config() == &cfg {
+                        return index;
+                    }
+                    println!("[index-cache] config mismatch, rebuilding");
+                }
+                Err(err) => println!("[index-cache] {}: {err}; rebuilding", path.display()),
+            }
+        }
+    }
+    let index = IvfPqIndex::build(&workload.database, &cfg);
+    if let Some(path) = &cache_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match index.write_index(path) {
+            Ok(bytes) => println!(
+                "[index-cache] saved {} ({:.1} MiB)",
+                path.display(),
+                bytes as f64 / (1024.0 * 1024.0)
+            ),
+            Err(err) => println!("[index-cache] save failed: {err}"),
+        }
+    }
+    index
 }
 
 /// Prints a section header so experiment output is easy to navigate.

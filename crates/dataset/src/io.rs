@@ -39,6 +39,28 @@ impl From<io::Error> for IoError {
     }
 }
 
+impl From<IoError> for io::Error {
+    /// Lets callers plumbing vector files through `io::Result` use `?` on
+    /// the readers: format violations become `InvalidData`.
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::Io(e) => e,
+            IoError::Format(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
+        }
+    }
+}
+
+/// Payload size of a row with `d` elements of `elem_size` bytes, rejecting
+/// headers whose declared size cannot even be computed. A hostile header can
+/// claim up to `i32::MAX` elements; on 32-bit hosts `elem_size * d` then
+/// wraps, the remaining-bytes guard passes, and the element reads panic past
+/// the buffer — so the multiply must be checked, not silent.
+fn payload_size(d: usize, elem_size: usize) -> Result<usize, IoError> {
+    elem_size
+        .checked_mul(d)
+        .ok_or_else(|| IoError::Format(format!("row of {d} elements overflows a payload size")))
+}
+
 /// Parses an fvecs byte buffer into a dataset.
 pub fn parse_fvecs(bytes: &[u8]) -> Result<VectorDataset, IoError> {
     let mut buf = bytes;
@@ -62,7 +84,7 @@ pub fn parse_fvecs(bytes: &[u8]) -> Result<VectorDataset, IoError> {
             }
             _ => {}
         }
-        if buf.remaining() < 4 * d {
+        if buf.remaining() < payload_size(d, 4)? {
             return Err(IoError::Format("truncated vector payload".into()));
         }
         for _ in 0..d {
@@ -121,7 +143,7 @@ pub fn parse_ivecs(bytes: &[u8]) -> Result<Vec<Vec<usize>>, IoError> {
             return Err(IoError::Format(format!("negative row length {d}")));
         }
         let d = d as usize;
-        if buf.remaining() < 4 * d {
+        if buf.remaining() < payload_size(d, 4)? {
             return Err(IoError::Format("truncated row payload".into()));
         }
         let mut row = Vec::with_capacity(d);
@@ -257,6 +279,74 @@ mod tests {
     fn empty_buffer_is_rejected() {
         assert!(parse_fvecs(&[]).is_err());
         assert!(parse_bvecs(&[]).is_err());
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected_not_panicked() {
+        // The formats are self-delimiting per row, so a cut exactly on a row
+        // boundary parses as a shorter file; every *other* prefix length must
+        // fail with a typed error (and, above all, never panic).
+        let ds = VectorDataset::from_vectors(3, [[1.0f32, 2.0, 3.0], [4.0, 5.0, 6.0]]);
+        let fbytes = to_fvecs(&ds);
+        let ibytes = to_ivecs(&[vec![1usize, 2, 3], vec![4, 5, 6]]);
+        let record = 4 + 4 * 3;
+        for len in 1..fbytes.len() {
+            let parsed = parse_fvecs(&fbytes[..len]);
+            if len % record == 0 {
+                assert_eq!(parsed.unwrap().len(), len / record, "boundary cut at {len}");
+            } else {
+                assert!(parsed.is_err(), "fvecs prefix of {len} bytes parsed");
+            }
+        }
+        for len in 1..ibytes.len() {
+            let parsed = parse_ivecs(&ibytes[..len]);
+            if len % record == 0 {
+                assert_eq!(parsed.unwrap().len(), len / record, "boundary cut at {len}");
+            } else {
+                assert!(parsed.is_err(), "ivecs prefix of {len} bytes parsed");
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_dimension_headers_are_format_errors() {
+        // A header may claim up to i32::MAX elements while carrying almost no
+        // payload. The declared-size arithmetic must not wrap (it does on
+        // 32-bit hosts without the checked multiply) and the reader must
+        // return a typed error rather than read past the buffer.
+        for d in [i32::MAX, i32::MAX / 4 + 1, 1 << 30] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&d.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 16]);
+            assert!(
+                matches!(parse_fvecs(&bytes), Err(IoError::Format(_))),
+                "d={d}"
+            );
+            assert!(
+                matches!(parse_bvecs(&bytes), Err(IoError::Format(_))),
+                "d={d}"
+            );
+            assert!(
+                matches!(parse_ivecs(&bytes), Err(IoError::Format(_))),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_size_checks_the_multiply() {
+        assert_eq!(payload_size(3, 4).unwrap(), 12);
+        assert!(payload_size(usize::MAX / 2, 4).is_err());
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_the_failure() {
+        let err: io::Error = IoError::Format("bad file".into()).into();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad file"));
+        let inner = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let err: io::Error = IoError::Io(inner).into();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 
     #[test]

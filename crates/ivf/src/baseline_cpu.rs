@@ -19,6 +19,7 @@ use crate::search::{
     search, search_with_kernel, search_with_timings_kernel, SearchResult, StageTimings,
 };
 use crate::simd::{self, ScanKernel, ScanScratch};
+use crate::source::IvfSource;
 
 /// Throughput/latency measurement for a batch run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,19 +78,41 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     }
 }
 
-/// A CPU searcher binding an index to a set of query-time parameters.
-#[derive(Debug, Clone)]
-pub struct CpuSearcher<'a> {
-    index: &'a IvfPqIndex,
+/// A CPU searcher binding an index (heap-owned [`IvfPqIndex`] or an
+/// mmap-backed [`crate::storage::MappedIndex`] — anything implementing
+/// [`IvfSource`]) to a set of query-time parameters.
+pub struct CpuSearcher<'a, S: IvfSource + ?Sized = IvfPqIndex> {
+    index: &'a S,
     params: IvfPqParams,
     /// Scan kernel override; `None` rides the process default
     /// ([`simd::default_kernel`]).
     kernel: Option<ScanKernel>,
 }
 
-impl<'a> CpuSearcher<'a> {
+// Manual impls: deriving would demand `S: Clone`/`S: Debug`, but the
+// searcher only holds a shared reference.
+impl<S: IvfSource + ?Sized> Clone for CpuSearcher<'_, S> {
+    fn clone(&self) -> Self {
+        Self {
+            index: self.index,
+            params: self.params,
+            kernel: self.kernel,
+        }
+    }
+}
+
+impl<S: IvfSource + ?Sized> std::fmt::Debug for CpuSearcher<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuSearcher")
+            .field("params", &self.params)
+            .field("kernel", &self.kernel)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, S: IvfSource + ?Sized> CpuSearcher<'a, S> {
     /// Creates a searcher. `params.nlist` and `params.m` must match the index.
-    pub fn new(index: &'a IvfPqIndex, params: IvfPqParams) -> Self {
+    pub fn new(index: &'a S, params: IvfPqParams) -> Self {
         assert_eq!(
             params.nlist,
             index.nlist(),
@@ -205,7 +228,12 @@ impl<'a> CpuSearcher<'a> {
         }
         timings
     }
+}
 
+// In its own non-generic impl so `CpuSearcher::ids_only(..)` keeps resolving
+// without a type annotation (defaulted type parameters don't apply in
+// expression position).
+impl CpuSearcher<'_, IvfPqIndex> {
     /// Extracts plain id lists from search results (for recall evaluation).
     pub fn ids_only(results: &[Vec<SearchResult>]) -> Vec<Vec<usize>> {
         results
@@ -253,8 +281,8 @@ mod tests {
         let (_, queries, index) = setup();
         let searcher = CpuSearcher::new(&index, IvfPqParams::new(16, 4, 10).with_m(16));
         let batch = searcher.search_batch(&queries);
-        for q in 0..queries.len() {
-            assert_eq!(batch[q], searcher.search_one(queries.get(q)));
+        for (q, got) in batch.iter().enumerate() {
+            assert_eq!(*got, searcher.search_one(queries.get(q)));
         }
     }
 

@@ -209,6 +209,49 @@ impl IvfPqIndex {
         }
     }
 
+    /// Reassembles an index from already-validated parts (the storage
+    /// loader's path back to a heap-owned index). Slabs are rebuilt from the
+    /// canonical codes.
+    pub(crate) fn from_parts(
+        dim: usize,
+        coarse: KMeans,
+        opq: Option<OpqTransform>,
+        pq: ProductQuantizer,
+        lists: Vec<InvertedList>,
+        ntotal: usize,
+        config: IvfPqTrainConfig,
+    ) -> Self {
+        let m = pq.m();
+        let slabs = lists
+            .iter()
+            .map(|l| CodeSlab::from_codes(&l.codes, m))
+            .collect();
+        Self {
+            dim,
+            coarse,
+            opq,
+            pq,
+            lists,
+            slabs,
+            ntotal,
+            config,
+        }
+    }
+
+    /// Writes the index to `path` in the on-disk storage format, returning
+    /// the number of bytes written. See [`crate::storage`].
+    pub fn write_index(&self, path: &std::path::Path) -> Result<u64, crate::storage::StorageError> {
+        crate::storage::write_index(self, path)
+    }
+
+    /// Opens an index previously written with [`IvfPqIndex::write_index`] as
+    /// a zero-copy [`crate::storage::MappedIndex`].
+    pub fn open_index(
+        path: &std::path::Path,
+    ) -> Result<crate::storage::MappedIndex, crate::storage::StorageError> {
+        crate::storage::open_index(path)
+    }
+
     /// Adds every vector of `dataset` to the index. Ids are assigned
     /// sequentially starting at `id_offset`.
     pub fn add(&mut self, dataset: &VectorDataset, id_offset: usize) {

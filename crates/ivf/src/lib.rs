@@ -17,7 +17,12 @@
 //!   block-transposed code slabs, AVX2/portable f32 kernels (bit-identical
 //!   to the scalar reference) and an int8-quantized-LUT fast pass with
 //!   exact re-ranking, runtime-dispatched per host (see
-//!   `docs/DATA_PLANE.md`).
+//!   `docs/DATA_PLANE.md`),
+//! * [`source`] — the [`IvfSource`] abstraction every search stage is
+//!   generic over, so heap-owned and mmap-backed indexes run identical
+//!   arithmetic,
+//! * [`storage`] — the versioned, checksummed on-disk index format and the
+//!   zero-copy `mmap` loader (see `docs/STORAGE.md`).
 
 #![warn(missing_docs)]
 
@@ -27,6 +32,8 @@ pub mod index;
 pub mod params;
 pub mod search;
 pub mod simd;
+pub mod source;
+pub mod storage;
 
 pub use baseline_cpu::CpuSearcher;
 pub use flat::FlatIndex;
@@ -34,3 +41,5 @@ pub use index::{IvfPqIndex, IvfPqTrainConfig};
 pub use params::{IvfPqParams, SearchStage, ALL_STAGES};
 pub use search::{SearchResult, StageTimings};
 pub use simd::{CodeSlab, ScanKernel, ScanScratch};
+pub use source::IvfSource;
+pub use storage::{open_index, write_index, MappedIndex, StorageError};

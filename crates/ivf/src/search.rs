@@ -10,9 +10,9 @@ use std::time::{Duration, Instant};
 
 use fanns_quantize::pq::DistanceTable;
 
-use crate::index::IvfPqIndex;
 use crate::params::{SearchStage, ALL_STAGES};
 use crate::simd::{self, ScanKernel, ScanScratch};
+use crate::source::IvfSource;
 
 /// One search hit: database id and approximated squared distance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -199,7 +199,7 @@ impl TopK {
 }
 
 /// Stage OPQ: rotate the query if the index was trained with OPQ.
-pub fn stage_opq(index: &IvfPqIndex, query: &[f32]) -> Vec<f32> {
+pub fn stage_opq<S: IvfSource + ?Sized>(index: &S, query: &[f32]) -> Vec<f32> {
     match index.opq() {
         Some(t) => t.apply(query),
         None => query.to_vec(),
@@ -207,9 +207,9 @@ pub fn stage_opq(index: &IvfPqIndex, query: &[f32]) -> Vec<f32> {
 }
 
 /// Stage IVFDist: distances from the (rotated) query to all cell centroids.
-pub fn stage_ivf_dist(index: &IvfPqIndex, query: &[f32]) -> Vec<f32> {
+pub fn stage_ivf_dist<S: IvfSource + ?Sized>(index: &S, query: &[f32]) -> Vec<f32> {
     let mut out = Vec::new();
-    fanns_quantize::distance::all_l2(query, index.coarse().centroids(), index.dim(), &mut out);
+    fanns_quantize::distance::all_l2(query, index.centroids(), index.dim(), &mut out);
     out
 }
 
@@ -227,8 +227,8 @@ pub fn stage_sel_cells(centroid_dists: &[f32], nprobe: usize) -> Vec<usize> {
 }
 
 /// Stage BuildLUT: the per-query asymmetric-distance lookup table.
-pub fn stage_build_lut(index: &IvfPqIndex, query: &[f32]) -> DistanceTable {
-    index.pq().build_distance_table(query)
+pub fn stage_build_lut<S: IvfSource + ?Sized>(index: &S, query: &[f32]) -> DistanceTable {
+    index.build_lut(query)
 }
 
 std::thread_local! {
@@ -248,8 +248,8 @@ std::thread_local! {
 /// the AVX2 slab kernel when the host supports it, the portable chunked
 /// kernel otherwise, or whatever `FANNS_SCAN_KERNEL` forces. Use
 /// [`stage_scan_and_select_with`] to pin a kernel explicitly.
-pub fn stage_scan_and_select(
-    index: &IvfPqIndex,
+pub fn stage_scan_and_select<S: IvfSource + ?Sized>(
+    index: &S,
     cells: &[usize],
     lut: &DistanceTable,
     k: usize,
@@ -269,8 +269,8 @@ pub fn stage_scan_and_select(
 /// [`stage_scan_and_select`] with an explicit kernel and caller-owned
 /// scratch. The f32 kernels (`Scalar`/`Portable`/`Avx2`) return bit-identical
 /// results; `Int8` re-ranks its quantized first pass with exact f32 ADC.
-pub fn stage_scan_and_select_with(
-    index: &IvfPqIndex,
+pub fn stage_scan_and_select_with<S: IvfSource + ?Sized>(
+    index: &S,
     cells: &[usize],
     lut: &DistanceTable,
     k: usize,
@@ -282,10 +282,10 @@ pub fn stage_scan_and_select_with(
             let m = index.m();
             let mut topk = TopK::new(k);
             for &cell in cells {
-                let list = index.list(cell);
-                for (slot, code) in list.codes.chunks_exact(m).enumerate() {
+                let ids = index.list_ids(cell);
+                for (slot, code) in index.list_codes(cell).chunks_exact(m).enumerate() {
                     let d = lut.adc(code);
-                    topk.push(d, list.ids[slot]);
+                    topk.push(d, ids[slot]);
                 }
             }
             topk.into_sorted()
@@ -299,7 +299,11 @@ pub fn stage_scan_and_select_with(
 
 /// Stage PQDist alone: ADC distances for every code in the selected cells.
 /// Returns (id, distance) pairs in scan order.
-pub fn stage_pq_dist(index: &IvfPqIndex, cells: &[usize], lut: &DistanceTable) -> Vec<(u32, f32)> {
+pub fn stage_pq_dist<S: IvfSource + ?Sized>(
+    index: &S,
+    cells: &[usize],
+    lut: &DistanceTable,
+) -> Vec<(u32, f32)> {
     let mut out = Vec::new();
     stage_pq_dist_into(index, cells, lut, &mut out);
     out
@@ -308,8 +312,8 @@ pub fn stage_pq_dist(index: &IvfPqIndex, cells: &[usize], lut: &DistanceTable) -
 /// [`stage_pq_dist`] into a caller-owned buffer (cleared, then filled in
 /// scan order). Reusing one buffer across queries removes the per-call
 /// `Vec` growth from the instrumented pipeline.
-pub fn stage_pq_dist_into(
-    index: &IvfPqIndex,
+pub fn stage_pq_dist_into<S: IvfSource + ?Sized>(
+    index: &S,
     cells: &[usize],
     lut: &DistanceTable,
     out: &mut Vec<(u32, f32)>,
@@ -317,10 +321,10 @@ pub fn stage_pq_dist_into(
     let m = index.m();
     out.clear();
     for &cell in cells {
-        let list = index.list(cell);
-        out.reserve(list.len());
-        for (slot, code) in list.codes.chunks_exact(m).enumerate() {
-            out.push((list.ids[slot], lut.adc(code)));
+        let ids = index.list_ids(cell);
+        out.reserve(ids.len());
+        for (slot, code) in index.list_codes(cell).chunks_exact(m).enumerate() {
+            out.push((ids[slot], lut.adc(code)));
         }
     }
 }
@@ -336,7 +340,12 @@ pub fn stage_sel_k(candidates: &[(u32, f32)], k: usize) -> Vec<SearchResult> {
 
 /// Runs a full query through the six stages (fused PQDist/SelK fast path)
 /// on the process-default scan kernel.
-pub fn search(index: &IvfPqIndex, query: &[f32], k: usize, nprobe: usize) -> Vec<SearchResult> {
+pub fn search<S: IvfSource + ?Sized>(
+    index: &S,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+) -> Vec<SearchResult> {
     let rotated = stage_opq(index, query);
     let dists = stage_ivf_dist(index, &rotated);
     let cells = stage_sel_cells(&dists, nprobe);
@@ -346,8 +355,8 @@ pub fn search(index: &IvfPqIndex, query: &[f32], k: usize, nprobe: usize) -> Vec
 
 /// [`search`] with an explicit scan kernel and caller-owned scratch (the
 /// serving backends pin their kernel once and reuse one scratch per batch).
-pub fn search_with_kernel(
-    index: &IvfPqIndex,
+pub fn search_with_kernel<S: IvfSource + ?Sized>(
+    index: &S,
     query: &[f32],
     k: usize,
     nprobe: usize,
@@ -364,8 +373,8 @@ pub fn search_with_kernel(
 /// Runs a full query keeping the stages separate and timing each one.
 /// Slightly slower than [`search`] (PQDist materialises its candidate list)
 /// but returns identical results; used for the Figure 3 breakdowns.
-pub fn search_with_timings(
-    index: &IvfPqIndex,
+pub fn search_with_timings<S: IvfSource + ?Sized>(
+    index: &S,
     query: &[f32],
     k: usize,
     nprobe: usize,
@@ -388,8 +397,8 @@ pub fn search_with_timings(
 /// behind the per-kernel Figure 3 breakdown. Stage PQDist runs the chosen
 /// kernel into the scratch's reused candidate buffer (no per-query `Vec`
 /// growth); SelK selects from that buffer as before.
-pub fn search_with_timings_kernel(
-    index: &IvfPqIndex,
+pub fn search_with_timings_kernel<S: IvfSource + ?Sized>(
+    index: &S,
     query: &[f32],
     k: usize,
     nprobe: usize,

@@ -175,14 +175,14 @@ mod tests {
         let mut out = vec![0u32; slab.padded_len()];
         scan_i8_portable(&slab, &qlut, &mut out);
         let mut code = vec![0u8; slab.m()];
-        for i in 0..slab.len() {
+        for (i, &got) in out.iter().enumerate().take(slab.len()) {
             slab.read_code(i, &mut code);
             let expected: u32 = code
                 .iter()
                 .enumerate()
                 .map(|(j, &c)| u32::from(qlut.as_flat()[j * qlut.ksub() + c as usize]))
                 .sum();
-            assert_eq!(out[i], expected, "code {i}");
+            assert_eq!(got, expected, "code {i}");
         }
     }
 
@@ -203,10 +203,10 @@ mod tests {
         scan_i8_portable(&slab, &qlut, &mut out);
         let mut code = vec![0u8; slab.m()];
         let bound = qlut.max_abs_error() + 1e-4;
-        for i in 0..slab.len() {
+        for (i, &raw) in out.iter().enumerate().take(slab.len()) {
             slab.read_code(i, &mut code);
             let exact = lut.adc(&code);
-            let approx = qlut.dequantize(out[i]);
+            let approx = qlut.dequantize(raw);
             assert!(
                 (approx - exact).abs() <= bound,
                 "code {i}: {approx} vs {exact} (bound {bound})"

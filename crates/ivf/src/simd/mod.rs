@@ -26,8 +26,8 @@ use std::sync::OnceLock;
 
 use fanns_quantize::pq::DistanceTable;
 
-use crate::index::IvfPqIndex;
 use crate::search::{SearchResult, TopK};
+use crate::source::IvfSource;
 
 /// Which ADC scan implementation executes Stage PQDist/SelK.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -168,8 +168,8 @@ impl ScanScratch {
 /// Scans the selected cells with an f32 slab kernel and keeps the best `k`
 /// — the vectorized fused Stage PQDist + SelK. Bit-identical to the scalar
 /// reference for any list content.
-pub fn scan_and_select_f32(
-    index: &IvfPqIndex,
+pub fn scan_and_select_f32<S: IvfSource + ?Sized>(
+    index: &S,
     cells: &[usize],
     lut: &DistanceTable,
     k: usize,
@@ -187,7 +187,7 @@ pub fn scan_and_select_f32(
             ScanKernel::Avx2 => kernels::scan_f32_avx2(slab, lut, &mut scratch.dists),
             _ => kernels::scan_f32_portable(slab, lut, &mut scratch.dists),
         }
-        let ids = &index.list(cell).ids;
+        let ids = index.list_ids(cell);
         for (slot, &d) in scratch.dists[..slab.len()].iter().enumerate() {
             topk.push(d, ids[slot]);
         }
@@ -201,8 +201,8 @@ pub fn scan_and_select_f32(
 /// true distance); [`rerank_depth`] survivors then get exact distances, so
 /// the returned top-k matches the scalar reference whenever the true top-k
 /// lies within the re-rank horizon.
-pub fn scan_and_select_int8(
-    index: &IvfPqIndex,
+pub fn scan_and_select_int8<S: IvfSource + ?Sized>(
+    index: &S,
     cells: &[usize],
     lut: &DistanceTable,
     k: usize,
@@ -239,7 +239,7 @@ pub fn scan_and_select_int8(
         let slab = index.slab(cell as usize);
         slab.read_code(slot as usize, &mut scratch.code);
         let exact = lut.adc(&scratch.code);
-        topk.push(exact, index.list(cell as usize).ids[slot as usize]);
+        topk.push(exact, index.list_ids(cell as usize)[slot as usize]);
     }
     topk.into_sorted()
 }
@@ -258,8 +258,8 @@ fn scan_i8_auto(slab: &CodeSlab, qlut: &fanns_quantize::pq::QuantizedLut, out: &
 /// Stage PQDist used by the instrumented pipeline. For [`ScanKernel::Int8`]
 /// the pairs carry dequantized first-pass distances (the stage split exists
 /// for attribution, not for serving, so no re-rank runs here).
-pub fn scan_pairs(
-    index: &IvfPqIndex,
+pub fn scan_pairs<S: IvfSource + ?Sized>(
+    index: &S,
     cells: &[usize],
     lut: &DistanceTable,
     kernel: ScanKernel,
@@ -270,10 +270,10 @@ pub fn scan_pairs(
         ScanKernel::Scalar => {
             let m = index.m();
             for &cell in cells {
-                let list = index.list(cell);
-                scratch.pairs.reserve(list.len());
-                for (slot, code) in list.codes.chunks_exact(m).enumerate() {
-                    scratch.pairs.push((list.ids[slot], lut.adc(code)));
+                let ids = index.list_ids(cell);
+                scratch.pairs.reserve(ids.len());
+                for (slot, code) in index.list_codes(cell).chunks_exact(m).enumerate() {
+                    scratch.pairs.push((ids[slot], lut.adc(code)));
                 }
             }
         }
@@ -288,7 +288,7 @@ pub fn scan_pairs(
                     ScanKernel::Avx2 => kernels::scan_f32_avx2(slab, lut, &mut scratch.dists),
                     _ => kernels::scan_f32_portable(slab, lut, &mut scratch.dists),
                 }
-                let ids = &index.list(cell).ids;
+                let ids = index.list_ids(cell);
                 scratch.pairs.reserve(slab.len());
                 for (slot, &d) in scratch.dists[..slab.len()].iter().enumerate() {
                     scratch.pairs.push((ids[slot], d));
@@ -304,7 +304,7 @@ pub fn scan_pairs(
                 }
                 scratch.sums.resize(slab.padded_len(), 0);
                 scan_i8_auto(slab, &qlut, &mut scratch.sums);
-                let ids = &index.list(cell).ids;
+                let ids = index.list_ids(cell);
                 scratch.pairs.reserve(slab.len());
                 for (slot, &sum) in scratch.sums[..slab.len()].iter().enumerate() {
                     scratch.pairs.push((ids[slot], qlut.dequantize(sum)));

@@ -1,0 +1,606 @@
+//! The versioned, checksummed on-disk index format.
+//!
+//! Layout (all integers and floats little-endian; see `docs/STORAGE.md` for
+//! the full contract):
+//!
+//! ```text
+//! [ header          | 128 bytes, CRC-protected                     ]
+//! [ section table   | section_count × 32 bytes, CRC-protected     ]
+//! [ zero padding to the next 64-byte boundary                     ]
+//! [ section: Centroids    | nlist × dim     × f32, 64-byte aligned ]
+//! [ section: PqCodebooks  | dim × ksub      × f32, 64-byte aligned ]
+//! [ section: OpqRotation  | dim × dim       × f32, only when OPQ   ]
+//! [ section: ListOffsets  | (nlist+1)       × u64, 64-byte aligned ]
+//! [ section: Ids          | ntotal          × u32, 64-byte aligned ]
+//! [ section: Codes        | ntotal × m      × u8,  64-byte aligned ]
+//! ```
+//!
+//! Every section offset is a multiple of [`SECTION_ALIGN`], so an `mmap` of
+//! the file (page-aligned base) yields correctly aligned `&[f32]`/`&[u32]`
+//! views with zero copying. Each section carries a CRC32 in the table; the
+//! header and the table carry their own CRCs. [`open`](super::open_index)
+//! verifies all of them, so any flipped or truncated byte surfaces as a
+//! typed [`StorageError`] — never undefined behaviour or a wrong answer.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::index::IvfPqIndex;
+use crate::source::IvfSource;
+
+/// File magic, bytes `[0, 8)`.
+pub const MAGIC: [u8; 8] = *b"FANNSIDX";
+
+/// Current format version (bumped on any incompatible layout change).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Endianness tag stored little-endian; a reader on the wrong byte order
+/// (or a corrupted file) sees a different value.
+pub const ENDIAN_TAG: u32 = 0x0A0B_0C0D;
+
+/// Alignment of every section offset — one x86 cache line, matching the
+/// in-memory `CodeSlab` alignment contract.
+pub const SECTION_ALIGN: usize = 64;
+
+/// Fixed header length in bytes (`[0, HEADER_LEN)`).
+pub const HEADER_LEN: usize = 128;
+
+/// Length of one section-table entry in bytes.
+pub const SECTION_ENTRY_LEN: usize = 32;
+
+/// Byte offset of the header CRC field inside the header.
+pub const HEADER_CRC_OFFSET: usize = 120;
+
+/// Byte offset of the section-table CRC field inside the header.
+pub const TABLE_CRC_OFFSET: usize = 104;
+
+/// Typed failure opening or validating an on-disk index. Every corruption
+/// mode the test battery exercises maps onto one of these variants;
+/// [`super::open_index`] never panics on malformed input.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The format version is not one this build reads.
+    UnsupportedVersion(u32),
+    /// The endianness tag does not match (foreign byte order or corruption).
+    BadEndian,
+    /// The file is shorter than its own accounting says it must be.
+    Truncated {
+        /// Bytes the header (or fixed layout) requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The header bytes fail their CRC.
+    HeaderChecksum,
+    /// The section table bytes fail their CRC.
+    TableChecksum,
+    /// A section's payload fails its CRC.
+    SectionChecksum(SectionKind),
+    /// A section offset is not [`SECTION_ALIGN`]-aligned.
+    Misaligned(SectionKind),
+    /// A section extends past the end of the file.
+    OutOfBounds(SectionKind),
+    /// Structurally invalid metadata (bad shape, bad section set, offsets
+    /// that do not add up) with a human-readable explanation.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::BadMagic => write!(f, "not a FANNS index file (bad magic)"),
+            StorageError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported index format version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            StorageError::BadEndian => write!(
+                f,
+                "endianness tag mismatch (foreign byte order or corrupted header)"
+            ),
+            StorageError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated index file: need {expected} bytes, have {actual}"
+                )
+            }
+            StorageError::HeaderChecksum => write!(f, "header checksum mismatch"),
+            StorageError::TableChecksum => write!(f, "section table checksum mismatch"),
+            StorageError::SectionChecksum(kind) => {
+                write!(f, "checksum mismatch in section {kind:?}")
+            }
+            StorageError::Misaligned(kind) => write!(
+                f,
+                "section {kind:?} offset is not {SECTION_ALIGN}-byte aligned"
+            ),
+            StorageError::OutOfBounds(kind) => {
+                write!(f, "section {kind:?} extends past the end of the file")
+            }
+            StorageError::Inconsistent(msg) => write!(f, "inconsistent index metadata: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// What a section stores. The discriminant is the on-disk `kind` tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// Coarse-quantizer centroids, `nlist × dim` f32.
+    Centroids = 1,
+    /// PQ codebooks, `m` blocks of `ksub × dsub` f32 (= `dim × ksub`).
+    PqCodebooks = 2,
+    /// OPQ rotation matrix, `dim × dim` f32 (present iff the OPQ flag is set).
+    OpqRotation = 3,
+    /// Inverted-list vector-count prefix sums, `nlist + 1` u64.
+    ListOffsets = 4,
+    /// Concatenated per-list database ids, `ntotal` u32.
+    Ids = 5,
+    /// Concatenated per-list canonical row-major PQ codes, `ntotal × m` u8.
+    Codes = 6,
+}
+
+impl SectionKind {
+    /// Parses the on-disk tag.
+    pub fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            1 => Some(SectionKind::Centroids),
+            2 => Some(SectionKind::PqCodebooks),
+            3 => Some(SectionKind::OpqRotation),
+            4 => Some(SectionKind::ListOffsets),
+            5 => Some(SectionKind::Ids),
+            6 => Some(SectionKind::Codes),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed section-table entry.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionEntry {
+    /// What the section stores.
+    pub kind: SectionKind,
+    /// Byte offset of the payload from the start of the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC32 (IEEE) of the payload bytes.
+    pub crc: u32,
+}
+
+/// The parsed, validated fixed header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexHeader {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// PQ sub-quantizers (code bytes).
+    pub m: usize,
+    /// PQ codebook size per sub-space.
+    pub ksub: usize,
+    /// Number of inverted lists.
+    pub nlist: usize,
+    /// Total indexed vectors.
+    pub ntotal: usize,
+    /// Whether an OPQ rotation section is present.
+    pub has_opq: bool,
+    /// Training-sample cap the index was built with (informational).
+    pub train_sample: u64,
+    /// Coarse k-means iteration cap the index was built with (informational).
+    pub coarse_iters: u64,
+    /// RNG seed the index was built with (informational).
+    pub seed: u64,
+    /// Number of section-table entries.
+    pub section_count: usize,
+    /// Total file length the writer recorded.
+    pub file_len: u64,
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3), table-driven
+// ---------------------------------------------------------------------------
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC32 (IEEE polynomial, the zlib/PNG variant) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian scribbling helpers
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn pad_to(buf: &mut Vec<u8>, align: usize) {
+    while !buf.len().is_multiple_of(align) {
+        buf.push(0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn f32s_to_le(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Serialises `index` into the on-disk byte image (header + table +
+/// sections). Exposed for tests; [`write_index`] streams this to a file.
+pub fn encode_index(index: &IvfPqIndex) -> Vec<u8> {
+    let dim = IvfSource::dim(index);
+    let m = IvfSource::m(index);
+    let nlist = IvfSource::nlist(index);
+    let ntotal = IvfSource::ntotal(index);
+    let ksub = index.pq().ksub();
+    let config = index.config();
+
+    // Section payloads, in on-disk order.
+    let centroids = f32s_to_le(index.coarse().centroids());
+    let codebooks = f32s_to_le(index.pq().codebooks());
+    let rotation = index.opq().map(|t| f32s_to_le(t.rotation().as_slice()));
+
+    let mut offsets_payload = Vec::with_capacity((nlist + 1) * 8);
+    let mut ids_payload = Vec::with_capacity(ntotal * 4);
+    let mut codes_payload = Vec::with_capacity(ntotal * m);
+    let mut running = 0u64;
+    put_u64(&mut offsets_payload, 0);
+    for cell in 0..nlist {
+        let list = index.list(cell);
+        running += list.len() as u64;
+        put_u64(&mut offsets_payload, running);
+        for &id in &list.ids {
+            put_u32(&mut ids_payload, id);
+        }
+        codes_payload.extend_from_slice(&list.codes);
+    }
+    debug_assert_eq!(running as usize, ntotal);
+
+    let mut sections: Vec<(SectionKind, Vec<u8>)> = vec![
+        (SectionKind::Centroids, centroids),
+        (SectionKind::PqCodebooks, codebooks),
+    ];
+    if let Some(rot) = rotation {
+        sections.push((SectionKind::OpqRotation, rot));
+    }
+    sections.push((SectionKind::ListOffsets, offsets_payload));
+    sections.push((SectionKind::Ids, ids_payload));
+    sections.push((SectionKind::Codes, codes_payload));
+
+    // Lay the sections out after the header + table, 64-byte aligned.
+    let table_len = sections.len() * SECTION_ENTRY_LEN;
+    let mut cursor = HEADER_LEN + table_len;
+    cursor = cursor.div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+    let mut entries = Vec::with_capacity(sections.len());
+    for (kind, payload) in &sections {
+        entries.push(SectionEntry {
+            kind: *kind,
+            offset: cursor as u64,
+            len: payload.len() as u64,
+            crc: crc32(payload),
+        });
+        cursor += payload.len();
+        cursor = cursor.div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+    }
+    // file_len records the end of the last payload (without its tail pad).
+    let file_len = entries
+        .last()
+        .map(|e| e.offset + e.len)
+        .unwrap_or((HEADER_LEN + table_len) as u64);
+
+    // Section table bytes.
+    let mut table = Vec::with_capacity(table_len);
+    for e in &entries {
+        put_u32(&mut table, e.kind as u32);
+        put_u32(&mut table, 0);
+        put_u64(&mut table, e.offset);
+        put_u64(&mut table, e.len);
+        put_u32(&mut table, e.crc);
+        put_u32(&mut table, 0);
+    }
+
+    // Header bytes.
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    put_u32(&mut header, FORMAT_VERSION);
+    put_u32(&mut header, ENDIAN_TAG);
+    put_u64(&mut header, dim as u64);
+    put_u64(&mut header, m as u64);
+    put_u64(&mut header, ksub as u64);
+    put_u64(&mut header, nlist as u64);
+    put_u64(&mut header, ntotal as u64);
+    put_u64(&mut header, u64::from(index.has_opq()));
+    put_u64(&mut header, config.train_sample as u64);
+    put_u64(&mut header, config.coarse_iters as u64);
+    put_u64(&mut header, config.seed);
+    put_u64(&mut header, sections.len() as u64);
+    put_u64(&mut header, file_len);
+    debug_assert_eq!(header.len(), TABLE_CRC_OFFSET);
+    put_u32(&mut header, crc32(&table));
+    put_u32(&mut header, 0); // reserved
+    put_u64(&mut header, 0); // reserved
+    debug_assert_eq!(header.len(), HEADER_CRC_OFFSET);
+    let header_crc = crc32(&header);
+    put_u32(&mut header, header_crc);
+    put_u32(&mut header, 0); // pad
+    debug_assert_eq!(header.len(), HEADER_LEN);
+
+    // Assemble the image.
+    let mut image = Vec::with_capacity(file_len as usize);
+    image.extend_from_slice(&header);
+    image.extend_from_slice(&table);
+    for (entry, (_, payload)) in entries.iter().zip(&sections) {
+        pad_to(&mut image, SECTION_ALIGN);
+        debug_assert_eq!(image.len() as u64, entry.offset);
+        image.extend_from_slice(payload);
+    }
+    debug_assert_eq!(image.len() as u64, file_len);
+    image
+}
+
+/// Writes `index` to `path` in the on-disk format, returning the number of
+/// bytes written. The file is written through a buffered writer and synced
+/// before returning.
+pub fn write_index(index: &IvfPqIndex, path: &Path) -> Result<u64, StorageError> {
+    let image = encode_index(index);
+    let file = std::fs::File::create(path)?;
+    let mut writer = io::BufWriter::new(file);
+    writer.write_all(&image)?;
+    writer.flush()?;
+    writer.get_ref().sync_all()?;
+    Ok(image.len() as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Header / table parsing
+// ---------------------------------------------------------------------------
+
+/// Parses and CRC-validates the fixed header from the start of a file image.
+pub fn parse_header(bytes: &[u8]) -> Result<IndexHeader, StorageError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StorageError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = read_u32(bytes, 8);
+    if version != FORMAT_VERSION {
+        return Err(StorageError::UnsupportedVersion(version));
+    }
+    if read_u32(bytes, 12) != ENDIAN_TAG {
+        return Err(StorageError::BadEndian);
+    }
+    let stored_crc = read_u32(bytes, HEADER_CRC_OFFSET);
+    if crc32(&bytes[..HEADER_CRC_OFFSET]) != stored_crc {
+        return Err(StorageError::HeaderChecksum);
+    }
+
+    let dim = read_u64(bytes, 16);
+    let m = read_u64(bytes, 24);
+    let ksub = read_u64(bytes, 32);
+    let nlist = read_u64(bytes, 40);
+    let ntotal = read_u64(bytes, 48);
+    let flags = read_u64(bytes, 56);
+    let train_sample = read_u64(bytes, 64);
+    let coarse_iters = read_u64(bytes, 72);
+    let seed = read_u64(bytes, 80);
+    let section_count = read_u64(bytes, 88);
+    let file_len = read_u64(bytes, 96);
+
+    // Shape sanity. These bounds keep every later size computation inside
+    // u64/usize range on 64-bit hosts.
+    let fail = |msg: String| Err(StorageError::Inconsistent(msg));
+    if dim == 0 || dim > 1 << 20 {
+        return fail(format!("dim {dim} out of range"));
+    }
+    if m == 0 || m > dim || !dim.is_multiple_of(m) {
+        return fail(format!("m {m} incompatible with dim {dim}"));
+    }
+    if !(2..=256).contains(&ksub) {
+        return fail(format!("ksub {ksub} out of [2, 256]"));
+    }
+    if nlist == 0 || nlist > 1 << 32 {
+        return fail(format!("nlist {nlist} out of range"));
+    }
+    if ntotal > u64::from(u32::MAX) {
+        return fail(format!("ntotal {ntotal} exceeds the u32 id space"));
+    }
+    if flags > 1 {
+        return fail(format!("unknown flag bits {flags:#x}"));
+    }
+    let has_opq = flags & 1 != 0;
+    let expected_sections = if has_opq { 6 } else { 5 };
+    if section_count != expected_sections {
+        return fail(format!(
+            "section count {section_count}, expected {expected_sections}"
+        ));
+    }
+
+    Ok(IndexHeader {
+        dim: dim as usize,
+        m: m as usize,
+        ksub: ksub as usize,
+        nlist: nlist as usize,
+        ntotal: ntotal as usize,
+        has_opq,
+        train_sample,
+        coarse_iters,
+        seed,
+        section_count: section_count as usize,
+        file_len,
+    })
+}
+
+/// Expected payload length in bytes for a section, given the header shape.
+pub fn expected_section_len(header: &IndexHeader, kind: SectionKind) -> u64 {
+    let (dim, m, ksub, nlist, ntotal) = (
+        header.dim as u64,
+        header.m as u64,
+        header.ksub as u64,
+        header.nlist as u64,
+        header.ntotal as u64,
+    );
+    match kind {
+        SectionKind::Centroids => nlist * dim * 4,
+        SectionKind::PqCodebooks => dim * ksub * 4,
+        SectionKind::OpqRotation => dim * dim * 4,
+        SectionKind::ListOffsets => (nlist + 1) * 8,
+        SectionKind::Ids => ntotal * 4,
+        SectionKind::Codes => ntotal * m,
+    }
+}
+
+/// The section kinds a file with this header must contain, in on-disk order.
+pub fn expected_sections(header: &IndexHeader) -> Vec<SectionKind> {
+    let mut kinds = vec![SectionKind::Centroids, SectionKind::PqCodebooks];
+    if header.has_opq {
+        kinds.push(SectionKind::OpqRotation);
+    }
+    kinds.extend([
+        SectionKind::ListOffsets,
+        SectionKind::Ids,
+        SectionKind::Codes,
+    ]);
+    kinds
+}
+
+/// Parses and fully validates the section table against `header` and the
+/// file image: CRC of the table itself, kind set and order, alignment,
+/// bounds, expected lengths, and every section's payload CRC.
+pub fn parse_sections(
+    bytes: &[u8],
+    header: &IndexHeader,
+) -> Result<Vec<SectionEntry>, StorageError> {
+    let table_end = HEADER_LEN + header.section_count * SECTION_ENTRY_LEN;
+    if bytes.len() < table_end {
+        return Err(StorageError::Truncated {
+            expected: table_end as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    if header.file_len != bytes.len() as u64 {
+        return Err(StorageError::Truncated {
+            expected: header.file_len,
+            actual: bytes.len() as u64,
+        });
+    }
+    let table = &bytes[HEADER_LEN..table_end];
+    let stored_table_crc = read_u32(bytes, TABLE_CRC_OFFSET);
+    if crc32(table) != stored_table_crc {
+        return Err(StorageError::TableChecksum);
+    }
+
+    let expected = expected_sections(header);
+    let mut entries = Vec::with_capacity(header.section_count);
+    for (i, want_kind) in expected.iter().enumerate() {
+        let at = i * SECTION_ENTRY_LEN;
+        let tag = read_u32(table, at);
+        let kind = SectionKind::from_tag(tag)
+            .ok_or_else(|| StorageError::Inconsistent(format!("unknown section kind tag {tag}")))?;
+        if kind != *want_kind {
+            return Err(StorageError::Inconsistent(format!(
+                "section {i} is {kind:?}, expected {want_kind:?}"
+            )));
+        }
+        let offset = read_u64(table, at + 8);
+        let len = read_u64(table, at + 16);
+        let crc = read_u32(table, at + 24);
+        if !offset.is_multiple_of(SECTION_ALIGN as u64) {
+            return Err(StorageError::Misaligned(kind));
+        }
+        let end = offset
+            .checked_add(len)
+            .ok_or(StorageError::OutOfBounds(kind))?;
+        if end > bytes.len() as u64 || offset < table_end as u64 {
+            return Err(StorageError::OutOfBounds(kind));
+        }
+        if len != expected_section_len(header, kind) {
+            return Err(StorageError::Inconsistent(format!(
+                "section {kind:?} length {len}, expected {}",
+                expected_section_len(header, kind)
+            )));
+        }
+        if crc32(&bytes[offset as usize..end as usize]) != crc {
+            return Err(StorageError::SectionChecksum(kind));
+        }
+        entries.push(SectionEntry {
+            kind,
+            offset,
+            len,
+            crc,
+        });
+    }
+    Ok(entries)
+}
+
+/// Reads a file fully into memory (used by the no-mmap fallback and tests).
+pub fn read_file_bytes(path: &Path) -> Result<Vec<u8>, StorageError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}

@@ -1,0 +1,31 @@
+//! On-disk index persistence: a versioned, checksummed binary format
+//! ([`mod@format`]) and a zero-copy `mmap` loader ([`mmap`]).
+//!
+//! ```no_run
+//! use fanns_ivf::storage;
+//! # let index: fanns_ivf::index::IvfPqIndex = unimplemented!();
+//! let path = std::path::Path::new("/tmp/index.fanns");
+//! storage::write_index(&index, path).unwrap();
+//! let mapped = storage::open_index(path).unwrap();
+//! mapped.warm(); // optional: eager slab rebuild
+//! ```
+//!
+//! See `docs/STORAGE.md` for the byte-level layout and the safety contract.
+
+pub mod format;
+pub mod mmap;
+
+pub use format::{
+    crc32, encode_index, write_index, IndexHeader, SectionEntry, SectionKind, StorageError,
+    ENDIAN_TAG, FORMAT_VERSION, HEADER_CRC_OFFSET, HEADER_LEN, MAGIC, SECTION_ALIGN,
+    SECTION_ENTRY_LEN, TABLE_CRC_OFFSET,
+};
+pub use mmap::MappedIndex;
+
+use std::path::Path;
+
+/// Opens an on-disk index file as a searchable [`MappedIndex`]. See
+/// [`MappedIndex::open`].
+pub fn open_index(path: &Path) -> Result<MappedIndex, StorageError> {
+    MappedIndex::open(path)
+}

@@ -1,0 +1,414 @@
+//! Corruption battery for the on-disk index format.
+//!
+//! Every way a file can be damaged — truncation, bit flips in the header,
+//! table or payloads, wrong magic/version/endianness, misaligned or
+//! out-of-bounds section offsets, inconsistent shapes — must surface as a
+//! *typed* [`StorageError`] from `open_index`, never as a panic, UB, or a
+//! silently wrong index. Deliberate tampering past the checksums (to reach
+//! the deeper alignment/bounds/shape checks) re-signs the table and header
+//! CRCs the same way a malicious or buggy writer would.
+
+use fanns_dataset::synth::{DatasetKind, SyntheticSpec};
+use fanns_ivf::source::IvfSource;
+use fanns_ivf::storage::{
+    crc32, encode_index, open_index, StorageError, FORMAT_VERSION, HEADER_CRC_OFFSET, HEADER_LEN,
+    SECTION_ENTRY_LEN, TABLE_CRC_OFFSET,
+};
+use fanns_ivf::{IvfPqIndex, IvfPqTrainConfig};
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+fn build(opq: bool) -> IvfPqIndex {
+    let (db, _) = SyntheticSpec::sift_small(7).with_vectors(400).generate();
+    let cfg = IvfPqTrainConfig::new(4)
+        .with_m(8)
+        .with_ksub(16)
+        .with_opq(opq)
+        .with_train_sample(300)
+        .with_seed(7);
+    IvfPqIndex::build(&db, &cfg)
+}
+
+/// A deliberately small (16-d) index so the exhaustive byte-flip sweep stays
+/// cheap: the image is a few KiB instead of the ~80 KiB a 128-d OPQ rotation
+/// costs, and the sweep re-validates the whole file once per byte.
+fn tiny_build() -> IvfPqIndex {
+    let (db, _) = SyntheticSpec {
+        kind: DatasetKind::Custom(16),
+        num_vectors: 300,
+        num_queries: 1,
+        n_concepts: 8,
+        skew: 0.8,
+        noise: 0.25,
+        seed: 11,
+    }
+    .generate();
+    let cfg = IvfPqTrainConfig::new(4)
+        .with_m(4)
+        .with_ksub(16)
+        .with_opq(true)
+        .with_train_sample(200)
+        .with_seed(11);
+    IvfPqIndex::build(&db, &cfg)
+}
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fanns-corruption-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Writes `bytes` to a fresh file and runs `open_index` on it.
+fn open_bytes(tag: &str, bytes: &[u8]) -> Result<fanns_ivf::MappedIndex, StorageError> {
+    let path = scratch_dir().join(format!("{tag}.fanns"));
+    std::fs::write(&path, bytes).expect("write corrupted image");
+    let outcome = open_index(&path);
+    let _ = std::fs::remove_file(&path);
+    outcome
+}
+
+fn put_u32(bytes: &mut [u8], at: usize, v: u32) {
+    bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// Re-signs a deliberately tampered image: recomputes the section-table CRC
+/// and then the header CRC, exactly as a hostile writer would, so the
+/// corruption reaches the structural checks behind the checksums.
+fn resign(bytes: &mut [u8]) {
+    let section_count = get_u64(bytes, 88) as usize;
+    let table_end = HEADER_LEN + section_count * SECTION_ENTRY_LEN;
+    let table_crc = crc32(&bytes[HEADER_LEN..table_end]);
+    put_u32(bytes, TABLE_CRC_OFFSET, table_crc);
+    let header_crc = crc32(&bytes[..HEADER_CRC_OFFSET]);
+    put_u32(bytes, HEADER_CRC_OFFSET, header_crc);
+}
+
+/// (kind tag, offset, len) of section-table entry `i`.
+fn entry(bytes: &[u8], i: usize) -> (u32, u64, u64) {
+    let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+    let tag = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    (tag, get_u64(bytes, at + 8), get_u64(bytes, at + 16))
+}
+
+fn section_count(bytes: &[u8]) -> usize {
+    get_u64(bytes, 88) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Sanity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pristine_image_opens() {
+    for opq in [false, true] {
+        let index = build(opq);
+        let image = encode_index(&index);
+        let mapped = open_bytes(&format!("pristine-opq{opq}"), &image).expect("pristine opens");
+        assert_eq!(IvfSource::ntotal(&mapped), index.ntotal());
+        assert_eq!(IvfSource::opq(&mapped).is_some(), opq);
+        assert_eq!(section_count(&image), if opq { 6 } else { 5 });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Truncation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_truncation_is_a_typed_truncated_error() {
+    let image = encode_index(&build(false));
+    let table_end = HEADER_LEN + section_count(&image) * SECTION_ENTRY_LEN;
+    let probes = [
+        0,
+        1,
+        7,
+        HEADER_LEN - 1,
+        HEADER_LEN,
+        table_end - 1,
+        table_end,
+        image.len() / 2,
+        image.len() - 1,
+    ];
+    for &len in &probes {
+        let err = open_bytes(&format!("trunc-{len}"), &image[..len])
+            .expect_err("truncated file must not open");
+        assert!(
+            matches!(err, StorageError::Truncated { .. }),
+            "truncation to {len} bytes gave {err:?}, expected Truncated"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header damage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flipped_magic_bytes_fail_with_bad_magic() {
+    let image = encode_index(&build(false));
+    for at in 0..8 {
+        let mut bad = image.clone();
+        bad[at] ^= 0xFF;
+        let err = open_bytes(&format!("magic-{at}"), &bad).expect_err("bad magic must not open");
+        assert!(matches!(err, StorageError::BadMagic), "byte {at}: {err:?}");
+    }
+}
+
+#[test]
+fn unknown_version_is_rejected_even_with_a_valid_crc() {
+    let image = encode_index(&build(false));
+    for version in [0u32, FORMAT_VERSION + 1, u32::MAX] {
+        // With a re-signed CRC (a future-format file is internally valid)...
+        let mut bad = image.clone();
+        put_u32(&mut bad, 8, version);
+        resign(&mut bad);
+        let err = open_bytes(&format!("version-{version}"), &bad).expect_err("must not open");
+        assert!(
+            matches!(err, StorageError::UnsupportedVersion(v) if v == version),
+            "version {version}: {err:?}"
+        );
+        // ...and without: the version check must come before the CRC check so
+        // future formats report their version, not a checksum mismatch.
+        let mut unsigned = image.clone();
+        put_u32(&mut unsigned, 8, version);
+        let err =
+            open_bytes(&format!("version-raw-{version}"), &unsigned).expect_err("must not open");
+        assert!(
+            matches!(err, StorageError::UnsupportedVersion(v) if v == version),
+            "unsigned version {version}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn wrong_endian_tag_is_rejected() {
+    let image = encode_index(&build(false));
+    let mut bad = image.clone();
+    // A big-endian writer would store the tag byte-swapped.
+    bad[12..16].reverse();
+    resign(&mut bad);
+    let err = open_bytes("endian", &bad).expect_err("byte-swapped endian tag must not open");
+    assert!(matches!(err, StorageError::BadEndian), "{err:?}");
+}
+
+#[test]
+fn every_header_field_flip_fails_the_header_checksum() {
+    let image = encode_index(&build(false));
+    // Bytes 16..120 are shape fields + table CRC + reserved, all covered by
+    // the header CRC; bytes 120..124 are the stored CRC itself.
+    for at in 16..HEADER_CRC_OFFSET + 4 {
+        let mut bad = image.clone();
+        bad[at] ^= 0x01;
+        let err = open_bytes(&format!("hdr-{at}"), &bad).expect_err("flip must not open");
+        assert!(
+            matches!(err, StorageError::HeaderChecksum),
+            "header byte {at}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn resigned_shape_lies_are_inconsistent() {
+    let image = encode_index(&build(false));
+    // (offset, value, label): each patches one shape field to a lie and
+    // re-signs, so only the semantic validation can catch it.
+    let lies: &[(usize, u64, &str)] = &[
+        (16, 0, "dim 0"),
+        (16, 1 << 21, "dim too large"),
+        (24, 3, "m does not divide dim"),
+        (32, 1, "ksub below 2"),
+        (32, 257, "ksub above 256"),
+        (48, u64::from(u32::MAX) + 1, "ntotal beyond id space"),
+        (56, 2, "unknown flag bits"),
+        (88, 9, "wrong section count"),
+    ];
+    for &(at, value, label) in lies {
+        let mut bad = image.clone();
+        put_u64(&mut bad, at, value);
+        resign(&mut bad);
+        let err = open_bytes(&format!("shape-{at}-{value}"), &bad).expect_err(label);
+        assert!(
+            matches!(err, StorageError::Inconsistent(_)),
+            "{label}: {err:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section-table damage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_table_byte_flip_fails_the_table_checksum() {
+    let image = encode_index(&build(true));
+    let table_end = HEADER_LEN + section_count(&image) * SECTION_ENTRY_LEN;
+    for at in HEADER_LEN..table_end {
+        let mut bad = image.clone();
+        bad[at] ^= 0x01;
+        let err = open_bytes(&format!("table-{at}"), &bad).expect_err("flip must not open");
+        assert!(
+            matches!(err, StorageError::TableChecksum),
+            "table byte {at}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn misaligned_section_offset_is_rejected() {
+    let image = encode_index(&build(false));
+    for i in 0..section_count(&image) {
+        let (_, offset, _) = entry(&image, i);
+        let mut bad = image.clone();
+        put_u64(&mut bad, HEADER_LEN + i * SECTION_ENTRY_LEN + 8, offset + 8);
+        resign(&mut bad);
+        let err = open_bytes(&format!("misalign-{i}"), &bad).expect_err("must not open");
+        assert!(
+            matches!(err, StorageError::Misaligned(_)),
+            "section {i}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn out_of_bounds_section_offset_is_rejected() {
+    let image = encode_index(&build(false));
+    let past_end = (image.len() as u64).div_ceil(64) * 64 + 64;
+    for i in 0..section_count(&image) {
+        for target in [past_end, 0, u64::MAX - 63] {
+            let mut bad = image.clone();
+            put_u64(&mut bad, HEADER_LEN + i * SECTION_ENTRY_LEN + 8, target);
+            resign(&mut bad);
+            let err = open_bytes(&format!("oob-{i}-{target}"), &bad).expect_err("must not open");
+            assert!(
+                matches!(err, StorageError::OutOfBounds(_)),
+                "section {i} offset {target}: {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_section_length_is_inconsistent() {
+    let image = encode_index(&build(false));
+    for i in 0..section_count(&image) {
+        let (_, _, len) = entry(&image, i);
+        assert!(len >= 8, "test expects non-trivial sections");
+        let mut bad = image.clone();
+        // Shrinking keeps the range in bounds so the length check itself
+        // (not the bounds check) must fire.
+        put_u64(&mut bad, HEADER_LEN + i * SECTION_ENTRY_LEN + 16, len - 8);
+        resign(&mut bad);
+        let err = open_bytes(&format!("len-{i}"), &bad).expect_err("must not open");
+        assert!(
+            matches!(err, StorageError::Inconsistent(_)),
+            "section {i}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_or_reordered_section_kinds_are_inconsistent() {
+    let image = encode_index(&build(false));
+    // Unknown tag.
+    let mut bad = image.clone();
+    put_u32(&mut bad, HEADER_LEN, 99);
+    resign(&mut bad);
+    let err = open_bytes("kind-unknown", &bad).expect_err("must not open");
+    assert!(matches!(err, StorageError::Inconsistent(_)), "{err:?}");
+    // Known tag in the wrong slot (swap the first two entries' tags).
+    let (tag0, _, _) = entry(&image, 0);
+    let (tag1, _, _) = entry(&image, 1);
+    let mut bad = image.clone();
+    put_u32(&mut bad, HEADER_LEN, tag1);
+    put_u32(&mut bad, HEADER_LEN + SECTION_ENTRY_LEN, tag0);
+    resign(&mut bad);
+    let err = open_bytes("kind-swapped", &bad).expect_err("must not open");
+    assert!(matches!(err, StorageError::Inconsistent(_)), "{err:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Payload damage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_section_payload_flip_fails_that_sections_checksum() {
+    let image = encode_index(&build(true));
+    for i in 0..section_count(&image) {
+        let (tag, offset, len) = entry(&image, i);
+        for at in [offset, offset + len / 2, offset + len - 1] {
+            let mut bad = image.clone();
+            bad[at as usize] ^= 0x80;
+            let err = open_bytes(&format!("payload-{i}-{at}"), &bad).expect_err("must not open");
+            match err {
+                StorageError::SectionChecksum(kind) => {
+                    assert_eq!(kind as u32, tag, "wrong section blamed for byte {at}")
+                }
+                other => panic!("section {i} byte {at}: {other:?}, expected SectionChecksum"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive sweep
+// ---------------------------------------------------------------------------
+
+/// Flips every single byte of the image, one at a time. Each flip must
+/// either fail with a typed error or — for the handful of pad bytes no
+/// checksum covers — open to an index structurally identical to the
+/// pristine one. `open_index` must never panic and never return garbage.
+#[test]
+fn single_byte_flip_sweep_never_panics_and_never_lies() {
+    let index = tiny_build();
+    let image = encode_index(&index);
+    let mut opened_ok = 0usize;
+    for at in 0..image.len() {
+        let mut bad = image.clone();
+        bad[at] ^= 0xA5;
+        match open_bytes("sweep", &bad) {
+            Err(_) => {}
+            Ok(mapped) => {
+                // Only CRC-free padding can survive a flip; the mapped view
+                // must still describe exactly the original index.
+                opened_ok += 1;
+                assert_eq!(IvfSource::dim(&mapped), index.dim(), "byte {at}");
+                assert_eq!(IvfSource::ntotal(&mapped), index.ntotal(), "byte {at}");
+                assert_eq!(
+                    IvfSource::centroids(&mapped),
+                    index.coarse().centroids(),
+                    "byte {at}"
+                );
+                for cell in 0..index.nlist() {
+                    assert_eq!(
+                        mapped.list_ids(cell),
+                        &index.list(cell).ids[..],
+                        "byte {at}"
+                    );
+                    assert_eq!(
+                        mapped.list_codes(cell),
+                        &index.list(cell).codes[..],
+                        "byte {at}"
+                    );
+                }
+            }
+        }
+    }
+    // The format is almost fully covered: only alignment padding (header pad
+    // word + inter-section pad) is outside a CRC. On this shape that is a
+    // small, bounded fraction of the file.
+    assert!(
+        opened_ok < image.len() / 10,
+        "{opened_ok} of {} flipped images opened — checksum coverage regressed",
+        image.len()
+    );
+}

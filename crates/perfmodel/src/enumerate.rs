@@ -163,7 +163,7 @@ mod tests {
         let designs = enumerate_designs(&space, &device, &c, false);
         assert!(!designs.is_empty());
         for d in &designs {
-            assert!(design_resources(&d, &c).fits_within(&device.budget()));
+            assert!(design_resources(d, &c).fits_within(&device.budget()));
         }
     }
 
@@ -199,6 +199,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // the 1s spell out each axis of the cross-product
     fn raw_size_counts_cross_product() {
         let space = EnumerationSpace::small();
         assert_eq!(space.raw_size(false), 2 * 2 * 2 * 1 * 2 * 2 * 1);

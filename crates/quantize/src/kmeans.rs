@@ -157,6 +157,31 @@ impl KMeans {
         }
     }
 
+    /// Rebuilds a model from a flat row-major centroid buffer (the inverse
+    /// of [`KMeans::centroids`]) — used by the on-disk index loader, which
+    /// persists only the centroids. Training statistics (`mse`,
+    /// `iterations`) are not stored in the index format and reset to zero;
+    /// no query-time computation reads them.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, the buffer is empty, or its length is not a
+    /// multiple of `dim`.
+    pub fn from_centroids(dim: usize, centroids: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(!centroids.is_empty(), "centroid buffer must not be empty");
+        assert!(
+            centroids.len().is_multiple_of(dim),
+            "centroid buffer length {} is not a multiple of dim {dim}",
+            centroids.len()
+        );
+        Self {
+            dim,
+            centroids,
+            mse: 0.0,
+            iterations: 0,
+        }
+    }
+
     /// Number of centroids.
     pub fn k(&self) -> usize {
         self.centroids.len() / self.dim

@@ -345,6 +345,38 @@ impl ProductQuantizer {
         }
     }
 
+    /// Rebuilds a quantizer from its flat codebook buffer (`m` blocks of
+    /// `ksub × dsub` floats, the layout [`ProductQuantizer::codebook`]
+    /// exposes) — used by the on-disk index loader. The training error is
+    /// not stored in the index format and resets to zero; no query-time
+    /// computation reads it.
+    ///
+    /// # Panics
+    /// Panics if the shape is invalid (`m == 0`, `dim` not divisible by
+    /// `m`, `ksub` outside `[2, 256]`) or the buffer length is not
+    /// `dim × ksub` (= `m × ksub × dsub`).
+    pub fn from_codebooks(dim: usize, m: usize, ksub: usize, codebooks: Vec<f32>) -> Self {
+        assert!(m > 0, "m must be positive");
+        assert!(
+            dim.is_multiple_of(m),
+            "dimension {dim} is not divisible by m={m}"
+        );
+        assert!((2..=256).contains(&ksub), "ksub must be in [2, 256]");
+        assert_eq!(
+            codebooks.len(),
+            dim * ksub,
+            "codebook buffer must hold m * ksub * dsub = dim * ksub floats"
+        );
+        Self {
+            dim,
+            m,
+            ksub,
+            dsub: dim / m,
+            codebooks,
+            train_error: 0.0,
+        }
+    }
+
     /// Input dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
@@ -369,6 +401,13 @@ impl ProductQuantizer {
     pub fn codebook(&self, j: usize) -> &[f32] {
         let stride = self.ksub * self.dsub;
         &self.codebooks[j * stride..(j + 1) * stride]
+    }
+
+    /// The full flat codebook buffer (`m` consecutive `ksub × dsub` blocks)
+    /// — the serialization view consumed by the on-disk index writer and
+    /// accepted back by [`ProductQuantizer::from_codebooks`].
+    pub fn codebooks(&self) -> &[f32] {
+        &self.codebooks
     }
 
     /// Encodes a single vector into its `m`-byte PQ code.

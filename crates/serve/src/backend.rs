@@ -13,6 +13,10 @@
 //! Backends are `Send + Sync` so engine workers and the sharded dispatcher
 //! can drive them from multiple threads concurrently.
 
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
 use fanns_codegen::plan::{instantiate, AcceleratorPlan};
 use fanns_ivf::flat::FlatIndex;
 use fanns_ivf::index::IvfPqIndex;
@@ -22,6 +26,8 @@ use fanns_ivf::search::{
     stage_sel_cells, SearchResult,
 };
 use fanns_ivf::simd::{default_kernel, ScanKernel, ScanScratch};
+use fanns_ivf::source::IvfSource;
+use fanns_ivf::storage::{MappedIndex, StorageError};
 
 use crate::cache::CentroidLutCache;
 use crate::telemetry::{batch_traced, Stage, TelemetrySink};
@@ -118,10 +124,106 @@ impl<T: SearchBackend + ?Sized> SearchBackend for std::sync::Arc<T> {
     }
 }
 
+/// Where a [`CpuBackend`]'s index lives: owned on the heap (built or
+/// deserialized in-process) or shared out of a read-only `mmap` of an
+/// on-disk index file. Both forms run the identical generic search stages,
+/// so results are bit-identical across the two.
+#[derive(Debug)]
+enum BackendIndex {
+    Heap(Box<IvfPqIndex>),
+    Mapped(Arc<MappedIndex>),
+}
+
+impl IvfSource for BackendIndex {
+    fn dim(&self) -> usize {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::dim(&**i),
+            BackendIndex::Mapped(i) => IvfSource::dim(&**i),
+        }
+    }
+
+    fn m(&self) -> usize {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::m(&**i),
+            BackendIndex::Mapped(i) => IvfSource::m(&**i),
+        }
+    }
+
+    fn ksub(&self) -> usize {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::ksub(&**i),
+            BackendIndex::Mapped(i) => IvfSource::ksub(&**i),
+        }
+    }
+
+    fn nlist(&self) -> usize {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::nlist(&**i),
+            BackendIndex::Mapped(i) => IvfSource::nlist(&**i),
+        }
+    }
+
+    fn ntotal(&self) -> usize {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::ntotal(&**i),
+            BackendIndex::Mapped(i) => IvfSource::ntotal(&**i),
+        }
+    }
+
+    fn opq(&self) -> Option<&fanns_quantize::opq::OpqTransform> {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::opq(&**i),
+            BackendIndex::Mapped(i) => IvfSource::opq(&**i),
+        }
+    }
+
+    fn centroids(&self) -> &[f32] {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::centroids(&**i),
+            BackendIndex::Mapped(i) => IvfSource::centroids(&**i),
+        }
+    }
+
+    fn build_lut(&self, query: &[f32]) -> fanns_quantize::pq::DistanceTable {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::build_lut(&**i, query),
+            BackendIndex::Mapped(i) => IvfSource::build_lut(&**i, query),
+        }
+    }
+
+    fn list_len(&self, cell: usize) -> usize {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::list_len(&**i, cell),
+            BackendIndex::Mapped(i) => IvfSource::list_len(&**i, cell),
+        }
+    }
+
+    fn list_ids(&self, cell: usize) -> &[u32] {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::list_ids(&**i, cell),
+            BackendIndex::Mapped(i) => IvfSource::list_ids(&**i, cell),
+        }
+    }
+
+    fn list_codes(&self, cell: usize) -> &[u8] {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::list_codes(&**i, cell),
+            BackendIndex::Mapped(i) => IvfSource::list_codes(&**i, cell),
+        }
+    }
+
+    fn slab(&self, cell: usize) -> &fanns_ivf::simd::CodeSlab {
+        match self {
+            BackendIndex::Heap(i) => IvfSource::slab(&**i, cell),
+            BackendIndex::Mapped(i) => IvfSource::slab(&**i, cell),
+        }
+    }
+}
+
 /// The multithreaded CPU IVF-PQ executor behind the serving interface.
 #[derive(Debug)]
 pub struct CpuBackend {
-    index: IvfPqIndex,
+    index: BackendIndex,
     params: IvfPqParams,
     /// Optional hot-cell centroid/LUT cache: memoizes the coarse-quantizer
     /// stages (OPQ + IVFDist + SelCells) and the ADC lookup table per
@@ -148,12 +250,44 @@ impl CpuBackend {
         );
         assert_eq!(params.m, index.m(), "params.m must match the index");
         Self {
-            index,
+            index: BackendIndex::Heap(Box::new(index)),
             params,
             lut_cache: None,
             telemetry: None,
             kernel: None,
         }
+    }
+
+    /// Binds a shared `mmap`-backed index (see [`fanns_ivf::storage`]) to
+    /// query-time parameters. The mapping can be shared with other backends
+    /// or replica threads via the `Arc`; search results are bit-identical to
+    /// a [`CpuBackend::new`] backend over the equivalent heap index.
+    ///
+    /// # Panics
+    /// Panics if `params.nlist` / `params.m` do not match the index.
+    pub fn from_mapped(index: Arc<MappedIndex>, params: IvfPqParams) -> Self {
+        assert_eq!(
+            params.nlist,
+            IvfSource::nlist(&*index),
+            "params.nlist must match the index"
+        );
+        assert_eq!(
+            params.m,
+            IvfSource::m(&*index),
+            "params.m must match the index"
+        );
+        Self {
+            index: BackendIndex::Mapped(index),
+            params,
+            lut_cache: None,
+            telemetry: None,
+            kernel: None,
+        }
+    }
+
+    /// Whether this backend serves out of an `mmap`-backed index.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.index, BackendIndex::Mapped(_))
     }
 
     /// Builder-style scan-kernel pin: forces every query this backend serves
@@ -205,9 +339,21 @@ impl CpuBackend {
         self.params
     }
 
-    /// The bound index.
-    pub fn index(&self) -> &IvfPqIndex {
-        &self.index
+    /// The bound heap index, when this backend owns one (`None` for
+    /// `mmap`-backed backends — use [`CpuBackend::mapped_index`]).
+    pub fn index(&self) -> Option<&IvfPqIndex> {
+        match &self.index {
+            BackendIndex::Heap(i) => Some(&**i),
+            BackendIndex::Mapped(_) => None,
+        }
+    }
+
+    /// The shared mapped index, when this backend is `mmap`-backed.
+    pub fn mapped_index(&self) -> Option<&Arc<MappedIndex>> {
+        match &self.index {
+            BackendIndex::Heap(_) => None,
+            BackendIndex::Mapped(i) => Some(i),
+        }
     }
 
     /// One query through the cached pipeline: reuse (or compute and memoize)
@@ -305,8 +451,12 @@ impl SearchBackend for CpuBackend {
             Some(_) => ", lut-cache",
             None => "",
         };
+        let mapped = match &self.index {
+            BackendIndex::Mapped(_) => ", mmap",
+            BackendIndex::Heap(_) => "",
+        };
         format!(
-            "cpu-ivfpq({}, nprobe={}, scan={}{cache})",
+            "cpu-ivfpq({}, nprobe={}, scan={}{cache}{mapped})",
             self.params.index_label(),
             self.params.effective_nprobe(),
             self.kernel()
@@ -354,6 +504,33 @@ impl SearchBackend for CpuBackend {
             })
             .collect()
     }
+}
+
+/// Cold-start path: `mmap`-opens an on-disk index (full checksum/alignment
+/// validation), eagerly warms its scan slabs, and binds it to a
+/// [`CpuBackend`]. When a telemetry sink is supplied, the two phases are
+/// recorded as [`Stage::IndexMap`] and [`Stage::IndexWarm`] infrastructure
+/// spans, so dashboards see exactly what a restart or swap-from-disk cost.
+///
+/// Returns the backend plus the shared mapping, so callers can hand the
+/// same `Arc<MappedIndex>` to further replicas without re-opening the file.
+pub fn open_mapped_backend(
+    path: &Path,
+    params: IvfPqParams,
+    telemetry: Option<&TelemetrySink>,
+) -> Result<(CpuBackend, Arc<MappedIndex>), StorageError> {
+    let t0 = Instant::now();
+    let mapped = Arc::new(MappedIndex::open(path)?);
+    let t1 = Instant::now();
+    mapped.warm();
+    let t2 = Instant::now();
+    if let Some(sink) = telemetry {
+        let id = sink.next_id();
+        sink.record_range(Stage::IndexMap, id, t0, t1);
+        sink.record_range(Stage::IndexWarm, id, t1, t2);
+    }
+    let backend = CpuBackend::from_mapped(Arc::clone(&mapped), params);
+    Ok((backend, mapped))
 }
 
 /// The generated accelerator (cycle-level simulator) behind the serving

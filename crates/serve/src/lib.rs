@@ -73,7 +73,8 @@ pub mod replica;
 pub mod telemetry;
 
 pub use backend::{
-    AcceleratorBackend, BackendError, BackendResponse, CpuBackend, FlatBackend, SearchBackend,
+    open_mapped_backend, AcceleratorBackend, BackendError, BackendResponse, CpuBackend,
+    FlatBackend, SearchBackend,
 };
 pub use cache::{
     CacheStats, CentroidLutCache, FingerprintMode, LutEntry, QueryResultCache, ResultCacheConfig,

@@ -90,11 +90,17 @@ pub enum Stage {
     ReplicaService,
     /// Instant event: a batch was rerouted to another replica.
     Failover,
+    /// Infrastructure span: `mmap`-opening and validating an on-disk index
+    /// (the cold-start cost [`crate::backend::open_mapped_backend`] pays).
+    IndexMap,
+    /// Infrastructure span: eager scan-slab rebuild of a mapped index
+    /// ([`fanns_ivf::storage::MappedIndex::warm`]).
+    IndexWarm,
 }
 
 impl Stage {
     /// Number of distinct stages (histogram array size).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// All stages in display order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -114,6 +120,8 @@ impl Stage {
         Stage::ShardService,
         Stage::ReplicaService,
         Stage::Failover,
+        Stage::IndexMap,
+        Stage::IndexWarm,
     ];
 
     /// Dense index for per-stage arrays.
@@ -141,6 +149,8 @@ impl Stage {
             Stage::ShardService => "shard_service",
             Stage::ReplicaService => "replica_service",
             Stage::Failover => "failover",
+            Stage::IndexMap => "index_map",
+            Stage::IndexWarm => "index_warm",
         }
     }
 

@@ -13,10 +13,12 @@ use std::time::Duration;
 use fanns::framework::{Fanns, FannsRequest};
 use fanns::serve::loadgen::{run_open_loop, OpenLoopConfig};
 use fanns::serve::{
-    BatchPolicy, EngineConfig, QueryEngine, QueryResultCache, ResultCacheConfig, TelemetryConfig,
-    TelemetryRegistry,
+    open_mapped_backend, BatchPolicy, EngineConfig, QueryEngine, QueryResultCache,
+    ResultCacheConfig, SearchBackend, TelemetryConfig, TelemetryRegistry,
 };
 use fanns_dataset::synth::SyntheticSpec;
+use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::CpuSearcher;
 
 fn main() {
     // 1. Offline: co-design an accelerator for the workload (steps 1-7).
@@ -31,7 +33,44 @@ fn main() {
         .expect("co-design should succeed on this workload");
     println!("{}\n", generated.summary());
 
-    // 2. Deploy: the generated accelerator becomes an online backend behind
+    // 2. Persist: save the tuned index in the on-disk format and reopen it
+    //    `mmap`-backed — the restart story. A redeployed serving process
+    //    skips retraining entirely: the cold start below is the *whole*
+    //    cost of coming back up, and the mapped backend must answer exactly
+    //    like the index it was saved from.
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("fanns-serve-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&snapshot_dir).expect("create snapshot dir");
+    let snapshot = snapshot_dir.join("codesigned.fanns");
+    let saved_bytes = generated
+        .index
+        .write_index(&snapshot)
+        .expect("persist the tuned index");
+    let restart = std::time::Instant::now();
+    let params = IvfPqParams::new(
+        generated.index.nlist(),
+        (generated.index.nlist() / 8).max(1),
+        10,
+    )
+    .with_m(generated.index.m());
+    let (mapped_backend, _mapped) =
+        open_mapped_backend(&snapshot, params, None).expect("reopen the saved index");
+    let cold_start_ms = restart.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "restart: saved {:.1} MiB, mmap-open + warm in {cold_start_ms:.1} ms ({})",
+        saved_bytes as f64 / (1024.0 * 1024.0),
+        mapped_backend.name()
+    );
+    let probe = mapped_backend.search_batch(&[queries.get(0)]);
+    let reference = CpuSearcher::new(&generated.index, params).search_one(queries.get(0));
+    assert_eq!(
+        probe[0].results, reference,
+        "mapped backend must answer exactly like the index it was saved from"
+    );
+    drop(mapped_backend);
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+
+    // 3. Deploy: the generated accelerator becomes an online backend behind
     //    the dynamic-batching engine, with a 2 ms end-to-end SLO and a
     //    query-result cache in front of admission. Real traffic repeats
     //    itself; the cache answers the hot set in ~a microsecond without
@@ -51,7 +90,7 @@ fn main() {
         Some(Arc::clone(&telemetry)),
     );
 
-    // 3. Serve: open-loop Poisson arrivals at a fixed offered rate, query
+    // 4. Serve: open-loop Poisson arrivals at a fixed offered rate, query
     //    popularity following Zipf(1.0) over the 256-query pool.
     let target_qps = 5_000.0;
     let outcome = run_open_loop(
@@ -64,7 +103,7 @@ fn main() {
         outcome.offered, target_qps, outcome.offered_qps, outcome.accepted, outcome.shed
     );
 
-    // 4. Report: QPS plus the latency distribution, SLO attainment, and the
+    // 5. Report: QPS plus the latency distribution, SLO attainment, and the
     //    cache's share of the work.
     engine.publish_gauges();
     let report = engine.shutdown();
@@ -95,7 +134,7 @@ fn main() {
         cache_report.capacity
     );
 
-    // 5. Where did the time go? The one-screen per-stage breakdown — the
+    // 6. Where did the time go? The one-screen per-stage breakdown — the
     //    live-serving analogue of the paper's Fig. 3 bottleneck analysis.
     let stages = report.stages.as_ref().expect("telemetry attached");
     println!("\n{}", stages.table());

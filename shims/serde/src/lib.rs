@@ -440,7 +440,7 @@ mod tests {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
         assert_eq!(f32::from_value(&1.25f32.to_value()).unwrap(), 1.25);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         let s = "hello".to_string();
         assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
     }

@@ -104,6 +104,43 @@ fn cpu_searcher_kernel_pins_agree_with_default() {
 }
 
 #[test]
+fn mmap_reopened_index_is_bit_identical_on_every_kernel() {
+    // The full kernel-equivalence contract must survive a round trip through
+    // the on-disk format: write → mmap-open → search, compared kernel by
+    // kernel against the heap-built original.
+    let (_, queries, index) = build(305);
+    let dir = std::env::temp_dir().join(format!("fanns-simd-scan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("kernels.fanns");
+    index.write_index(&path).expect("write index");
+    let mapped = fanns_ivf::storage::open_index(&path).expect("open index");
+    let params = IvfPqParams::new(32, 8, 10).with_m(16);
+    for kernel in ALL_KERNELS {
+        if !kernel.is_available() {
+            continue;
+        }
+        let heap = CpuSearcher::new(&index, params).with_kernel(kernel);
+        let disk = CpuSearcher::new(&mapped, params).with_kernel(kernel);
+        for q in 0..queries.len() {
+            let query = queries.get(q);
+            let expected = heap.search_one(query);
+            let got = disk.search_one(query);
+            assert_eq!(got.len(), expected.len(), "query {q} kernel {kernel}");
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.id, e.id, "query {q} kernel {kernel}");
+                assert_eq!(
+                    g.distance.to_bits(),
+                    e.distance.to_bits(),
+                    "query {q} kernel {kernel}"
+                );
+            }
+        }
+    }
+    drop(mapped);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cpu_backend_serves_identically_on_every_kernel() {
     let (_, queries, index) = build(304);
     let params = IvfPqParams::new(32, 8, 10).with_m(16);

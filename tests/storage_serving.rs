@@ -1,0 +1,200 @@
+//! Integration tests for serving from a `mmap`-backed on-disk index: shared
+//! concurrent readers, the mapped CPU backend behind the engine, cold-start
+//! telemetry, and generation-based cache invalidation on index swap.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fanns_dataset::synth::SyntheticSpec;
+use fanns_dataset::types::QuerySet;
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::search::{search, SearchResult};
+use fanns_ivf::storage::open_index;
+use fanns_ivf::{CpuSearcher, MappedIndex};
+use fanns_serve::loadgen::ZipfSampler;
+use fanns_serve::{
+    open_mapped_backend, BatchPolicy, EngineConfig, QueryEngine, QueryResultCache,
+    ResultCacheConfig, SearchBackend, Stage, TelemetryConfig, TelemetryRegistry, Ticket,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fanns-storage-serving-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(format!("{tag}.fanns"))
+}
+
+fn build_and_map(seed: u64, nlist: usize, tag: &str) -> (IvfPqIndex, QuerySet, MappedIndex) {
+    let (db, queries) = SyntheticSpec::sift_small(seed).generate();
+    let index = IvfPqIndex::build(
+        &db,
+        &IvfPqTrainConfig::new(nlist)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000)
+            .with_seed(seed),
+    );
+    let path = scratch_path(tag);
+    index.write_index(&path).expect("write index");
+    let mapped = open_index(&path).expect("open index");
+    let _ = std::fs::remove_file(&path);
+    (index, queries, mapped)
+}
+
+/// One reader's Zipf-skewed query schedule (indexes into the query set).
+fn zipf_schedule(queries: usize, len: usize, seed: u64) -> Vec<usize> {
+    let sampler = ZipfSampler::new(queries, 0.9, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| sampler.sample(&mut rng)).collect()
+}
+
+/// Two threads hammering one shared [`MappedIndex`] under Zipf-skewed load
+/// must each produce exactly the results a solo run of their schedule
+/// produces — shared lazy slab initialisation must never change answers.
+#[test]
+fn concurrent_readers_match_solo_runs() {
+    let (_, queries, mapped) = build_and_map(901, 32, "concurrent");
+    let mapped = Arc::new(mapped);
+    let params = IvfPqParams::new(32, 8, 10).with_m(16);
+
+    let schedules: Vec<Vec<usize>> = (0..2)
+        .map(|t| zipf_schedule(queries.len(), 200, 1_000 + t))
+        .collect();
+
+    // Solo reference: a fresh mapping (fresh lazy slabs), single-threaded.
+    let solo: Vec<Vec<Vec<SearchResult>>> = {
+        let searcher = CpuSearcher::new(&*mapped, params);
+        schedules
+            .iter()
+            .map(|schedule| {
+                schedule
+                    .iter()
+                    .map(|&q| searcher.search_one(queries.get(q)))
+                    .collect()
+            })
+            .collect()
+    };
+
+    let concurrent: Vec<Vec<Vec<SearchResult>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .iter()
+            .map(|schedule| {
+                let mapped = Arc::clone(&mapped);
+                let queries = &queries;
+                scope.spawn(move || {
+                    let searcher = CpuSearcher::new(&*mapped, params);
+                    schedule
+                        .iter()
+                        .map(|&q| searcher.search_one(queries.get(q)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, (got, expect)) in concurrent.iter().zip(&solo).enumerate() {
+        assert_eq!(got, expect, "thread {t} diverged from its solo run");
+    }
+}
+
+/// The mapped backend behind the batched multi-worker engine returns the
+/// same answers as sequential in-memory search, and the map/warm cold-start
+/// stages land in telemetry.
+#[test]
+fn mapped_backend_serves_identically_through_the_engine() {
+    let (index, queries, _mapped) = build_and_map(902, 16, "engine");
+    let params = IvfPqParams::new(16, 4, 10).with_m(16);
+
+    let path = scratch_path("engine-reopen");
+    index.write_index(&path).expect("write index");
+    let registry = TelemetryRegistry::new(TelemetryConfig::new());
+    let sink = registry.sink();
+    let (backend, mapped) =
+        open_mapped_backend(&path, params, Some(&sink)).expect("open mapped backend");
+    let _ = std::fs::remove_file(&path);
+    assert!(backend.is_mapped());
+    assert!(backend.name().contains("mmap"));
+    assert!(mapped.file_len() > 0);
+
+    let map_spans = registry
+        .events()
+        .iter()
+        .filter(|e| e.stage == Stage::IndexMap)
+        .count();
+    let warm_spans = registry
+        .events()
+        .iter()
+        .filter(|e| e.stage == Stage::IndexWarm)
+        .count();
+    assert_eq!(map_spans, 1, "expected one index_map cold-start span");
+    assert_eq!(warm_spans, 1, "expected one index_warm cold-start span");
+
+    let expected: Vec<_> = (0..queries.len())
+        .map(|q| search(&index, queries.get(q), 10, 4))
+        .collect();
+    let engine = QueryEngine::start(
+        Arc::new(backend),
+        EngineConfig::new(BatchPolicy::new(16, Duration::from_micros(300))).with_workers(4),
+    );
+    let tickets: Vec<Ticket> = (0..queries.len())
+        .map(|q| engine.submit(queries.get(q).to_vec()).unwrap())
+        .collect();
+    for (q, ticket) in tickets.into_iter().enumerate() {
+        let reply = ticket.wait().expect("reply delivered");
+        assert_eq!(
+            reply.results, expected[q],
+            "query {q} diverged on the mapped backend"
+        );
+    }
+    engine.shutdown();
+}
+
+/// Swapping the serving index for one `mmap`-loaded from disk must bump the
+/// result cache's generation: entries cached against the old index are
+/// invalidated wholesale, and repopulated entries reflect the new index.
+#[test]
+fn cache_generation_invalidates_on_index_swap() {
+    let (old_index, queries, _) = build_and_map(903, 16, "swap-old");
+    let (new_index, _, new_mapped) = build_and_map(904, 32, "swap-new");
+    let old_params = IvfPqParams::new(16, 4, 10).with_m(16);
+    let new_params = IvfPqParams::new(32, 8, 10).with_m(16);
+
+    let cache = QueryResultCache::new(ResultCacheConfig::new(256));
+    let old_searcher = CpuSearcher::new(&old_index, old_params);
+    for q in 0..16 {
+        let query = queries.get(q);
+        let key = cache.key(query);
+        cache.insert(&key, old_searcher.search_one(query));
+    }
+    assert_eq!(cache.len(), 16);
+
+    // Swap: the engine now serves the mapped index; everything cached
+    // against the old generation must be dropped before first lookup.
+    cache.invalidate_all();
+    for q in 0..16 {
+        assert!(
+            cache.lookup(queries.get(q)).is_none(),
+            "query {q} survived the generation bump"
+        );
+    }
+
+    let new_searcher = CpuSearcher::new(&new_mapped, new_params);
+    for q in 0..16 {
+        let query = queries.get(q);
+        let key = cache.key(query);
+        cache.insert(&key, new_searcher.search_one(query));
+    }
+    let heap_new = CpuSearcher::new(&new_index, new_params);
+    for q in 0..16 {
+        let query = queries.get(q);
+        let cached = cache.lookup(query).expect("repopulated entry");
+        assert_eq!(
+            cached,
+            heap_new.search_one(query),
+            "query {q}: post-swap cache serves stale or wrong results"
+        );
+    }
+}
