@@ -1,0 +1,341 @@
+//! Mutation-under-traffic sweep: insert/delete rate × offered QPS over a
+//! [`MutableBackend`] (segmented mutable IVF) behind the `QueryEngine`, one
+//! JSON row per configuration.
+//!
+//! ```sh
+//! FANNS_SCALE=small cargo run --release --bin serve_mutation
+//! ```
+//!
+//! Each cell serves an open-loop Poisson query stream while a mutator thread
+//! applies a paced stream of inserts (fresh vectors) and deletes (ids from
+//! the sealed initial set) through the backend's mutation hooks, with a
+//! background [`Compactor`] sealing/merging underneath. A checker thread
+//! concurrently probes the engine and asserts the hard correctness gate:
+//!
+//! * **zero deleted-id violations** — no reply ever contains an id whose
+//!   delete had committed before the probe was submitted (the process exits
+//!   non-zero on the first violation).
+//!
+//! The `rate = 0` rows run the identical serving stack with the mutator
+//! idle — the baseline the churned rows are compared against. Canonical
+//! per-cell metrics (`m{rate}_q{qps}_p50_us` / `_qps`) are written to the
+//! `serve_mutation` section of `BENCH_serve.json` for the `bench_compare`
+//! regression gate.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use fanns_bench::baseline;
+use fanns_bench::{print_header, Scale};
+use fanns_dataset::synth::SyntheticSpec;
+use fanns_dataset::types::VectorDataset;
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::segmented::{SegmentedConfig, SegmentedIndex};
+use fanns_serve::loadgen::{run_open_loop, OpenLoopConfig};
+use fanns_serve::{
+    BatchPolicy, Compactor, EngineConfig, MutableBackend, QueryEngine, QueryStatus, SearchBackend,
+};
+
+/// One sweep point, printed as a JSON row.
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    backend: String,
+    /// Offered mutation rate (insert + delete ops per second; 0 = immutable
+    /// baseline cell).
+    mutation_rate: f64,
+    target_qps: f64,
+    offered_qps: f64,
+    /// Completed-query throughput.
+    qps: f64,
+    goodput_qps: f64,
+    queries: u64,
+    /// Median backend-path latency (µs).
+    p50_us: f64,
+    p99_us: f64,
+    /// Mutations actually applied (inserts + successful deletes).
+    mutations_applied: u64,
+    inserts: u64,
+    deletes: u64,
+    /// Compactions performed during the cell (seal + merge + swap).
+    compactions: u64,
+    /// Live vectors at the end of the cell.
+    live: u64,
+    /// Sealed segments at the end of the cell.
+    sealed_segments: u64,
+    /// Concurrent correctness probes checked against the committed-delete
+    /// high-water mark (all must have passed for the row to print).
+    probes_checked: u64,
+    rejected: u64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "serve_mutation",
+        "mutation-under-traffic sweep: insert/delete rate x offered load (open loop)",
+    );
+
+    let (database, queries) = SyntheticSpec::sift_medium(5151)
+        .with_vectors(scale.num_vectors().min(20_000))
+        .with_queries(256)
+        .generate();
+    println!(
+        "dataset: {} vectors x {} dims, {} distinct queries, scale {:?}",
+        database.len(),
+        database.dim(),
+        queries.len(),
+        scale
+    );
+
+    let nlist = 64usize;
+    let params = IvfPqParams::new(nlist, 8, 10).with_m(16);
+    let train = IvfPqTrainConfig::new(nlist)
+        .with_m(16)
+        .with_ksub(64)
+        .with_train_sample(20_000)
+        .with_seed(17);
+    let index = IvfPqIndex::build(&database, &train);
+
+    // Fresh vectors for the mutator (same distribution, different seed);
+    // the mutator cycles the pool when a cell needs more inserts than it
+    // holds — duplicates are fine for a throughput sweep.
+    let (insert_pool, _) = SyntheticSpec::sift_medium(5152)
+        .with_vectors(8_192)
+        .with_queries(1)
+        .generate();
+
+    let mutation_rates = [0.0f64, 1_000.0, 5_000.0];
+    let target_qps_grid = [2_000.0f64, 8_000.0];
+    // Constant cell *duration* rather than query count: the mutator and the
+    // compactor are paced in wall-clock time, so every cell must give them
+    // the same window regardless of the offered query rate.
+    let cell_seconds = match scale {
+        Scale::Small => 1.5,
+        Scale::Medium => 4.0,
+        Scale::Large => 8.0,
+    };
+
+    let mut canonical: BTreeMap<String, f64> = BTreeMap::new();
+    let mut baseline_p50: Option<f64> = None;
+
+    for &target_qps in &target_qps_grid {
+        for &mutation_rate in &mutation_rates {
+            let num_queries = (target_qps * cell_seconds) as usize;
+            let row = run_cell(
+                &index,
+                params,
+                &queries,
+                &insert_pool,
+                mutation_rate,
+                target_qps,
+                num_queries,
+            );
+            println!(
+                "{}",
+                serde_json::to_string(&row).expect("sweep row serialises")
+            );
+            let point = format!("m{mutation_rate:.0}_q{target_qps:.0}");
+            canonical.insert(format!("{point}_p50_us"), row.p50_us);
+            canonical.insert(format!("{point}_qps"), row.qps);
+            if mutation_rate == 0.0 && baseline_p50.is_none() {
+                baseline_p50 = Some(row.p50_us);
+            }
+            if mutation_rate > 0.0 {
+                assert!(
+                    row.mutations_applied > 0,
+                    "mutating cell applied no mutations"
+                );
+                assert!(
+                    row.compactions > 0,
+                    "mutating cell never compacted (rate {mutation_rate}, qps {target_qps})"
+                );
+            }
+            assert!(row.probes_checked > 0, "checker thread never probed");
+        }
+    }
+
+    let out = baseline::update_section(&baseline::bench_out_path(), "serve_mutation", &canonical);
+    eprintln!(
+        "serve_mutation: wrote {} metrics to {}",
+        canonical.len(),
+        out.display()
+    );
+    eprintln!("serve_mutation OK: zero deleted-id violations across the grid");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    index: &IvfPqIndex,
+    params: IvfPqParams,
+    queries: &fanns_dataset::types::QuerySet,
+    insert_pool: &VectorDataset,
+    mutation_rate: f64,
+    target_qps: f64,
+    num_queries: usize,
+) -> SweepRow {
+    // Fresh segmented index per cell: the initial index becomes the one
+    // sealed segment, churn state starts clean. Thresholds are sized so a
+    // cell lasting a second or two at the lowest mutation rate still seals
+    // and reclaims a few times — the point is to measure serving latency
+    // *with* compactions happening, not a quiescent write segment.
+    let segmented = Arc::new(SegmentedIndex::new(
+        index.clone(),
+        SegmentedConfig::default()
+            .with_seal_threshold(256)
+            .with_tombstone_ratio(0.02),
+    ));
+    let backend = Arc::new(MutableBackend::new(Arc::clone(&segmented), params));
+    let engine = QueryEngine::start(
+        Arc::new(Arc::clone(&backend)) as Arc<dyn SearchBackend>,
+        EngineConfig::new(BatchPolicy::new(32, Duration::from_micros(500)))
+            .with_workers(2)
+            .with_queue_depth(4_096),
+    );
+    let compactor = Compactor::start(Arc::clone(&backend), Duration::from_millis(5));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Delete schedule: unique initial ids, so every scheduled delete
+    // succeeds. `committed` is the high-water mark the checker reads:
+    // schedule[..committed] have all returned before the probe is sent.
+    let delete_schedule: Arc<Vec<u32>> = Arc::new(
+        (0..index.ntotal() as u32)
+            .filter(|id| id % 3 == 0)
+            .collect(),
+    );
+    let committed = Arc::new(AtomicUsize::new(0));
+
+    let pool: Vec<Vec<f32>> = (0..insert_pool.len())
+        .map(|i| insert_pool.get(i).to_vec())
+        .collect();
+    let probe_queries: Vec<Vec<f32>> = (0..16).map(|i| queries.get(i).to_vec()).collect();
+
+    // Scoped threads so the mutator and checker can borrow the engine the
+    // open-loop generator is driving.
+    let (outcome, inserts, deletes, probes_checked) = std::thread::scope(|scope| {
+        // Mutator: paced at `mutation_rate` ops/s, ~60 % inserts / 40 %
+        // deletes, applied in 1 ms slices.
+        let mutator = {
+            let backend = Arc::clone(&backend);
+            let stop = Arc::clone(&stop);
+            let schedule = Arc::clone(&delete_schedule);
+            let committed = Arc::clone(&committed);
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut inserts = 0u64;
+                let mut deletes = 0u64;
+                if mutation_rate <= 0.0 {
+                    return (inserts, deletes);
+                }
+                let slice = Duration::from_millis(1);
+                let ops_per_slice = (mutation_rate / 1_000.0).max(1.0) as usize;
+                let mut tick = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let t0 = Instant::now();
+                    for _ in 0..ops_per_slice {
+                        tick += 1;
+                        if tick % 5 < 3 {
+                            let v = &pool[(inserts as usize) % pool.len()];
+                            backend.insert(v).expect("mutable backend inserts");
+                            inserts += 1;
+                        } else {
+                            let next = committed.load(Ordering::Relaxed);
+                            if next < schedule.len() && backend.delete(schedule[next]) {
+                                deletes += 1;
+                                // Publish only after the delete returned:
+                                // probes sent after this store must not see
+                                // the id.
+                                committed.store(next + 1, Ordering::Release);
+                            }
+                        }
+                    }
+                    let spent = t0.elapsed();
+                    if spent < slice {
+                        std::thread::sleep(slice - spent);
+                    }
+                }
+                (inserts, deletes)
+            })
+        };
+
+        // Checker: concurrent correctness probes through the engine. A
+        // probe reads the committed-delete high-water mark *before*
+        // submitting; any of those ids in the reply is a violation (torn
+        // segment set, tombstone leak, or stale cache) and aborts the
+        // bench.
+        let checker = {
+            let engine = &engine;
+            let stop = Arc::clone(&stop);
+            let schedule = Arc::clone(&delete_schedule);
+            let committed = Arc::clone(&committed);
+            let probe_queries = &probe_queries;
+            scope.spawn(move || {
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for q in probe_queries {
+                        let barrier = committed.load(Ordering::Acquire);
+                        let Ok(ticket) = engine.submit(q.clone()) else {
+                            continue;
+                        };
+                        let Some(reply) = ticket.wait() else { continue };
+                        if reply.status == QueryStatus::Completed {
+                            for r in &reply.results {
+                                let deleted = schedule[..barrier].contains(&r.id);
+                                assert!(
+                                    !deleted,
+                                    "deleted id {} resurfaced in a concurrent probe",
+                                    r.id
+                                );
+                            }
+                            checked += 1;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                checked
+            })
+        };
+
+        let outcome = run_open_loop(
+            &engine,
+            queries,
+            OpenLoopConfig::new(target_qps, num_queries)
+                .with_seed(0xFEED_5EED)
+                .with_zipf(1.0),
+        );
+        stop.store(true, Ordering::Release);
+        let (inserts, deletes) = mutator.join().expect("mutator thread");
+        let probes_checked = checker.join().expect("checker thread");
+        (outcome, inserts, deletes, probes_checked)
+    });
+    let background_compactions = compactor.stop();
+    let report = engine.shutdown();
+    let stats = segmented.stats();
+    // The background compactor performs all compactions in this bench; the
+    // index counter is authoritative (and >= the compactor's own count).
+    debug_assert!(background_compactions <= stats.compactions);
+
+    SweepRow {
+        backend: report.backend.clone(),
+        mutation_rate,
+        target_qps,
+        offered_qps: outcome.offered_qps,
+        qps: report.qps,
+        goodput_qps: report.goodput_qps,
+        queries: report.queries,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        mutations_applied: inserts + deletes,
+        inserts,
+        deletes,
+        compactions: stats.compactions,
+        live: stats.live as u64,
+        sealed_segments: stats.sealed_segments as u64,
+        probes_checked,
+        rejected: report.rejected,
+    }
+}

@@ -22,7 +22,10 @@
 //!   generic over, so heap-owned and mmap-backed indexes run identical
 //!   arithmetic,
 //! * [`storage`] — the versioned, checksummed on-disk index format and the
-//!   zero-copy `mmap` loader (see `docs/STORAGE.md`).
+//!   zero-copy `mmap` loader (see `docs/STORAGE.md`),
+//! * [`segmented`] — the mutable layer: live inserts/deletes over a write
+//!   segment + immutable sealed segments with tombstones and generation-
+//!   swapped compaction (see `docs/MUTATION.md`).
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,7 @@ pub mod flat;
 pub mod index;
 pub mod params;
 pub mod search;
+pub mod segmented;
 pub mod simd;
 pub mod source;
 pub mod storage;
@@ -40,6 +44,7 @@ pub use flat::FlatIndex;
 pub use index::{IvfPqIndex, IvfPqTrainConfig};
 pub use params::{IvfPqParams, SearchStage, ALL_STAGES};
 pub use search::{SearchResult, StageTimings};
+pub use segmented::{CompactionReport, SegmentedConfig, SegmentedIndex, SegmentedStats};
 pub use simd::{CodeSlab, ScanKernel, ScanScratch};
 pub use source::IvfSource;
 pub use storage::{open_index, write_index, MappedIndex, StorageError};

@@ -1,0 +1,300 @@
+//! Model-based mutation battery for the segmented mutable IVF layer.
+//!
+//! Each property drives a [`SegmentedIndex`] through a random interleaving
+//! of insert / delete / search / compact operations and checks every
+//! observable against a brute-force `Vec`-backed reference model:
+//!
+//! 1. **No resurrection** — a search never returns a tombstoned id, at any
+//!    point of any interleaving.
+//! 2. **Live vectors stay findable** — under full probe (`nprobe = nlist`)
+//!    with `k ≥ live`, the returned id set equals the model's live id set
+//!    exactly (fresh write-segment inserts included).
+//! 3. **Compaction is result-invariant** — under full probe the id set
+//!    returned before and after a compaction is identical, and ids that
+//!    were sealed *before* the compaction keep bit-identical ADC distances
+//!    (their PQ codes are copied verbatim, never re-encoded).
+//!
+//! The shimmed `proptest` runs each property over 192 deterministic cases;
+//! the op sequence per case is derived from the drawn seed with SplitMix64,
+//! so failures replay exactly.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use fanns_dataset::synth::SyntheticSpec;
+use fanns_dataset::types::VectorDataset;
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::segmented::{SegmentedConfig, SegmentedIndex};
+
+const NLIST: usize = 4;
+const INITIAL: usize = 160;
+
+/// Deterministic op-sequence RNG (SplitMix64 over the drawn case seed).
+struct OpRng(u64);
+
+impl OpRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The reference model: every ever-inserted vector by id, live or
+/// tombstoned. Brute force, no quantization, no segments.
+struct RefModel {
+    vectors: Vec<Vec<f32>>,
+    live: Vec<bool>,
+}
+
+impl RefModel {
+    fn new(initial: &VectorDataset) -> Self {
+        Self {
+            vectors: initial.iter().map(|v| v.to_vec()).collect(),
+            live: vec![true; initial.len()],
+        }
+    }
+
+    fn insert(&mut self, v: &[f32]) -> u32 {
+        self.vectors.push(v.to_vec());
+        self.live.push(true);
+        (self.vectors.len() - 1) as u32
+    }
+
+    /// Mirrors `SegmentedIndex::delete`: true iff the id existed and was live.
+    fn delete(&mut self, id: u32) -> bool {
+        match self.live.get_mut(id as usize) {
+            Some(l) if *l => {
+                *l = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn live_ids(&self) -> HashSet<u32> {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(id, _)| id as u32)
+            .collect()
+    }
+
+    fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    fn deleted_ids(&self) -> HashSet<u32> {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !**l)
+            .map(|(id, _)| id as u32)
+            .collect()
+    }
+}
+
+/// Shared fixtures: the initial database, a query/insert vector pool, and
+/// the base index — trained and populated once, cloned per case.
+fn fixtures() -> &'static (VectorDataset, Vec<Vec<f32>>, IvfPqIndex) {
+    static FIXTURES: OnceLock<(VectorDataset, Vec<Vec<f32>>, IvfPqIndex)> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let (db, queries) = SyntheticSpec::sift_small(1007)
+            .with_vectors(INITIAL)
+            .with_queries(32)
+            .generate();
+        let index = IvfPqIndex::build(
+            &db,
+            &IvfPqTrainConfig::new(NLIST)
+                .with_m(8)
+                .with_ksub(16)
+                .with_train_sample(INITIAL)
+                .with_seed(31),
+        );
+        let pool = queries.iter().map(|q| q.to_vec()).collect();
+        (db, pool, index)
+    })
+}
+
+fn fresh_case(seal_threshold: usize) -> (SegmentedIndex, RefModel) {
+    let (db, _, index) = fixtures();
+    let segmented = SegmentedIndex::new(
+        index.clone(),
+        SegmentedConfig::default().with_seal_threshold(seal_threshold),
+    );
+    (segmented, RefModel::new(db))
+}
+
+/// One full-probe search checked against the model: no tombstoned id is
+/// returned, and with `k ≥ live` the id set equals the live set exactly.
+fn check_search(segmented: &SegmentedIndex, model: &RefModel, query: &[f32]) {
+    let k = model.live_count() + 4;
+    let results = segmented.search(query, k, NLIST);
+    let returned: HashSet<u32> = results.iter().map(|r| r.id).collect();
+    assert_eq!(
+        returned.len(),
+        results.len(),
+        "search returned a duplicate id"
+    );
+    let deleted = model.deleted_ids();
+    for id in &returned {
+        assert!(!deleted.contains(id), "tombstoned id {id} was resurrected");
+    }
+    assert_eq!(
+        returned,
+        model.live_ids(),
+        "full-probe search with k >= live must return exactly the live set"
+    );
+}
+
+proptest! {
+    #[test]
+    fn random_interleavings_match_the_reference_model(
+        seed in 0u64..1_000_000,
+        ops in 10usize..36,
+    ) {
+        let mut rng = OpRng(seed);
+        // Vary the seal threshold so some cases compact mid-sequence via
+        // tiny write segments and others batch everything up.
+        let (segmented, mut model) = fresh_case([8, 16, 64][(seed % 3) as usize]);
+        let (_, pool, _) = fixtures();
+
+        for _ in 0..ops {
+            match rng.below(100) {
+                0..=39 => {
+                    let v = &pool[rng.below(pool.len() as u64) as usize];
+                    let got = segmented.insert(v);
+                    let want = model.insert(v);
+                    prop_assert_eq!(got, want, "insert ids must match the model");
+                }
+                40..=69 => {
+                    // Mostly existing ids, occasionally out of range.
+                    let span = model.vectors.len() as u64 + 4;
+                    let id = rng.below(span) as u32;
+                    let got = segmented.delete(id);
+                    let want = model.delete(id);
+                    prop_assert_eq!(got, want, "delete outcome must match the model");
+                }
+                70..=89 => {
+                    let q = &pool[rng.below(pool.len() as u64) as usize];
+                    check_search(&segmented, &model, q);
+                }
+                _ => {
+                    let report = segmented.compact();
+                    if !report.skipped {
+                        prop_assert_eq!(report.live, model.live_count());
+                    }
+                }
+            }
+        }
+
+        // Terminal audit: every query in the pool agrees with the model,
+        // and the structural counters reconcile.
+        for q in pool.iter().take(4) {
+            check_search(&segmented, &model, q);
+        }
+        prop_assert_eq!(segmented.live(), model.live_count());
+        let live: HashSet<u32> = segmented.live_ids().into_iter().collect();
+        prop_assert_eq!(live, model.live_ids());
+    }
+
+    #[test]
+    fn compaction_is_result_invariant_under_full_probe(
+        seed in 0u64..1_000_000,
+        churn in 4usize..24,
+    ) {
+        let mut rng = OpRng(seed ^ 0xC0DE);
+        let (segmented, mut model) = fresh_case(1 << 20); // never auto-advised
+        let (_, pool, _) = fixtures();
+
+        // Random churn: inserts and deletes, no compaction yet.
+        for _ in 0..churn {
+            if rng.below(2) == 0 {
+                let v = &pool[rng.below(pool.len() as u64) as usize];
+                segmented.insert(v);
+                model.insert(v);
+            } else {
+                let id = rng.below(model.vectors.len() as u64) as u32;
+                let got = segmented.delete(id);
+                prop_assert_eq!(got, model.delete(id));
+            }
+        }
+
+        let probe = &pool[rng.below(pool.len() as u64) as usize];
+        let k = model.live_count();
+        let sealed_before: HashSet<u32> = segmented.sealed_ids().into_iter().collect();
+        let before = segmented.search(probe, k, NLIST);
+
+        let report = segmented.compact();
+        prop_assert!(!report.skipped || segmented.stats().write_vectors == 0);
+
+        let after = segmented.search(probe, k, NLIST);
+
+        // Property 3a: the returned id set is unchanged by the compaction.
+        let ids_before: HashSet<u32> = before.iter().map(|r| r.id).collect();
+        let ids_after: HashSet<u32> = after.iter().map(|r| r.id).collect();
+        prop_assert_eq!(&ids_before, &ids_after, "compaction changed the result id set");
+
+        // Property 3b: ids sealed before the compaction keep bit-identical
+        // ADC distances (codes copied verbatim, same LUT, same kernels).
+        let after_by_id: std::collections::HashMap<u32, u32> =
+            after.iter().map(|r| (r.id, r.distance.to_bits())).collect();
+        for r in &before {
+            if sealed_before.contains(&r.id) {
+                prop_assert_eq!(
+                    after_by_id.get(&r.id).copied(),
+                    Some(r.distance.to_bits()),
+                    "sealed id {} distance not bitwise preserved",
+                    r.id
+                );
+            }
+        }
+
+        // And the merged structure still matches the model.
+        check_search(&segmented, &model, probe);
+        prop_assert_eq!(segmented.live(), model.live_count());
+    }
+
+    #[test]
+    fn deletes_never_resurface_across_repeated_compactions(
+        seed in 0u64..1_000_000,
+        rounds in 2usize..6,
+    ) {
+        let mut rng = OpRng(seed ^ 0xDEAD);
+        let (segmented, mut model) = fresh_case(16);
+        let (_, pool, _) = fixtures();
+
+        for _ in 0..rounds {
+            // A burst of inserts, then delete a slice of everything ever
+            // inserted (some sealed, some fresh, some already deleted).
+            for _ in 0..rng.below(8) {
+                let v = &pool[rng.below(pool.len() as u64) as usize];
+                segmented.insert(v);
+                model.insert(v);
+            }
+            for _ in 0..rng.below(12) {
+                let id = rng.below(model.vectors.len() as u64) as u32;
+                let got = segmented.delete(id);
+                prop_assert_eq!(got, model.delete(id));
+            }
+            segmented.compact();
+            let q = &pool[rng.below(pool.len() as u64) as usize];
+            check_search(&segmented, &model, q);
+        }
+
+        // After the final round every tombstone has been reclaimed.
+        let stats = segmented.stats();
+        prop_assert_eq!(stats.pending_tombstones, 0);
+        prop_assert_eq!(stats.sealed_segments, 1);
+        prop_assert_eq!(stats.live, model.live_count());
+    }
+}

@@ -97,6 +97,28 @@ pub trait SearchBackend: Send + Sync {
     fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
         Ok(self.search_batch(queries))
     }
+
+    /// Whether this backend accepts live [`SearchBackend::insert`] /
+    /// [`SearchBackend::delete`] traffic. Immutable backends (the default)
+    /// report `false` and reject every mutation.
+    fn supports_mutation(&self) -> bool {
+        false
+    }
+
+    /// Inserts one vector into the served index, returning its assigned id,
+    /// or `None` when the backend is immutable. Mutable backends (see
+    /// [`crate::mutable::MutableBackend`]) make the vector findable by the
+    /// very next search.
+    fn insert(&self, _vector: &[f32]) -> Option<u32> {
+        None
+    }
+
+    /// Tombstones one id in the served index. Returns `true` when the id was
+    /// live and is now hidden from every subsequent search; `false` for
+    /// unknown/already-deleted ids and for immutable backends.
+    fn delete(&self, _id: u32) -> bool {
+        false
+    }
 }
 
 /// Shared backends are backends: lets R replicas route to one in-memory
@@ -121,6 +143,18 @@ impl<T: SearchBackend + ?Sized> SearchBackend for std::sync::Arc<T> {
 
     fn try_search_batch(&self, queries: &[&[f32]]) -> Result<Vec<BackendResponse>, BackendError> {
         (**self).try_search_batch(queries)
+    }
+
+    fn supports_mutation(&self) -> bool {
+        (**self).supports_mutation()
+    }
+
+    fn insert(&self, vector: &[f32]) -> Option<u32> {
+        (**self).insert(vector)
+    }
+
+    fn delete(&self, id: u32) -> bool {
+        (**self).delete(id)
     }
 }
 

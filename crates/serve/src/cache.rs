@@ -581,6 +581,14 @@ impl QueryResultCache {
         self.generation.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// The current cache generation. Advances on every
+    /// [`QueryResultCache::invalidate_all`]; keys minted before an advance
+    /// can neither hit nor insert. Exposed so tests and serving layers can
+    /// assert an index swap actually invalidated the cache.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
     /// Entries currently resident (stale-generation entries count until a
     /// lookup reclaims them).
     pub fn len(&self) -> usize {

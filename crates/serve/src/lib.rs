@@ -31,7 +31,11 @@
 //!   into per-stage histograms, gauges and JSONL time-series snapshots,
 //!   Chrome trace export, and a critical-path analyzer (see
 //!   `docs/OBSERVABILITY.md`),
-//! * [`loadgen`] — open-loop Poisson and closed-loop load generators.
+//! * [`loadgen`] — open-loop Poisson and closed-loop load generators,
+//! * [`mutable`] — the live-mutation serving path: [`MutableBackend`] over a
+//!   segmented mutable index (insert/delete/compact under traffic, cache
+//!   generation invalidation on every mutation and compaction swap) plus the
+//!   background [`Compactor`] (see `docs/MUTATION.md`).
 //!
 //! The deployment stack composes bottom-up: an executor backend, optionally
 //! wrapped in a [`FaultInjector`], R of them behind a [`ReplicaSet`], one
@@ -69,6 +73,7 @@ pub mod engine;
 pub mod fault;
 pub mod loadgen;
 pub mod metrics;
+pub mod mutable;
 pub mod replica;
 pub mod telemetry;
 
@@ -91,6 +96,7 @@ pub use loadgen::{
     run_closed_loop, run_open_loop, LoadgenOutcome, OpenLoopConfig, QueryPopularity, ZipfSampler,
 };
 pub use metrics::{CacheReport, LatencyHistogram, ServeReport};
+pub use mutable::{Compactor, MutableBackend};
 pub use replica::{ReplicaHealthConfig, ReplicaSet, ReplicaSetStats, ReplicaSnapshot};
 pub use telemetry::{
     analyze_critical_paths, chrome_trace_json, CriticalPathReport, EventRing, Gauge, QueryPath,

@@ -96,11 +96,19 @@ pub enum Stage {
     /// Infrastructure span: eager scan-slab rebuild of a mapped index
     /// ([`fanns_ivf::storage::MappedIndex::warm`]).
     IndexWarm,
+    /// Backend sub-stage of the mutable path: one query fanned out across
+    /// the segment set (sealed ADC scans + exact write-segment scan +
+    /// tombstone-filtered merge) by a
+    /// [`MutableBackend`](crate::mutable::MutableBackend).
+    SegmentScan,
+    /// Infrastructure span: one segment compaction — seal + merge + swap
+    /// ([`fanns_ivf::segmented::SegmentedIndex::compact`]).
+    Compact,
 }
 
 impl Stage {
     /// Number of distinct stages (histogram array size).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 20;
 
     /// All stages in display order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -122,6 +130,8 @@ impl Stage {
         Stage::Failover,
         Stage::IndexMap,
         Stage::IndexWarm,
+        Stage::SegmentScan,
+        Stage::Compact,
     ];
 
     /// Dense index for per-stage arrays.
@@ -151,6 +161,8 @@ impl Stage {
             Stage::Failover => "failover",
             Stage::IndexMap => "index_map",
             Stage::IndexWarm => "index_warm",
+            Stage::SegmentScan => "segment_scan",
+            Stage::Compact => "compact",
         }
     }
 

@@ -1,23 +1,28 @@
-//! Online serving demo: run the co-design workflow, put the generated
-//! accelerator behind the `QueryEngine` with a query-result cache in front
-//! of admission, and drive it with a Zipf-skewed open-loop Poisson load
-//! generator — the workload shape the cache is built for.
+//! Online serving demo: run the co-design workflow, save/reopen the tuned
+//! index `mmap`-backed (the restart story), walk the live-mutation
+//! lifecycle (insert -> delete -> compact, with probe equivalence), then
+//! put the generated accelerator behind the `QueryEngine` with a
+//! query-result cache in front of admission and drive it with a
+//! Zipf-skewed open-loop Poisson load generator — the workload shape the
+//! cache is built for.
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
 //! ```
 
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
 use fanns::framework::{Fanns, FannsRequest};
 use fanns::serve::loadgen::{run_open_loop, OpenLoopConfig};
 use fanns::serve::{
-    open_mapped_backend, BatchPolicy, EngineConfig, QueryEngine, QueryResultCache,
+    open_mapped_backend, BatchPolicy, EngineConfig, MutableBackend, QueryEngine, QueryResultCache,
     ResultCacheConfig, SearchBackend, TelemetryConfig, TelemetryRegistry,
 };
 use fanns_dataset::synth::SyntheticSpec;
 use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::segmented::{SegmentedConfig, SegmentedIndex};
 use fanns_ivf::CpuSearcher;
 
 fn main() {
@@ -69,6 +74,69 @@ fn main() {
     );
     drop(mapped_backend);
     let _ = std::fs::remove_dir_all(&snapshot_dir);
+
+    // 2b. Mutate live: wrap the tuned index in the segmented mutable layer
+    //     and walk the full lifecycle from docs/MUTATION.md — insert,
+    //     delete, compact — proving each observable along the way. A fresh
+    //     insert is findable the instant it returns (the write segment is
+    //     scanned exactly), a delete vanishes immediately (tombstone), and
+    //     a compaction seals + merges + reclaims without changing what a
+    //     full-probe search returns.
+    let segmented = Arc::new(SegmentedIndex::new(
+        generated.index.clone(),
+        SegmentedConfig::default(),
+    ));
+    let mutable = MutableBackend::new(Arc::clone(&segmented), params);
+    let full_probe = generated.index.nlist();
+    let fresh = queries.get(1);
+    let new_id = mutable
+        .insert(fresh)
+        .expect("segmented backend accepts inserts");
+    let hits = segmented.search(fresh, 10, full_probe);
+    assert_eq!(
+        hits.first().map(|r| (r.id, r.distance)),
+        Some((new_id, 0.0)),
+        "a fresh insert must be findable immediately, at exact distance 0"
+    );
+    let victim = hits[1].id;
+    assert!(mutable.delete(victim), "victim id must be live");
+    let before: HashSet<u32> = segmented
+        .search(fresh, segmented.live() + 4, full_probe)
+        .iter()
+        .map(|r| r.id)
+        .collect();
+    assert!(
+        !before.contains(&victim),
+        "a tombstoned id must vanish at once"
+    );
+    let report = mutable.compact();
+    assert!(
+        !report.skipped,
+        "one write vector + one tombstone: must swap"
+    );
+    let after: HashSet<u32> = segmented
+        .search(fresh, segmented.live() + 4, full_probe)
+        .iter()
+        .map(|r| r.id)
+        .collect();
+    assert_eq!(
+        before, after,
+        "compaction must not change what a full-probe search returns"
+    );
+    let stats = segmented.stats();
+    assert_eq!(
+        stats.pending_tombstones, 0,
+        "compaction reclaims tombstones"
+    );
+    assert_eq!(stats.sealed_segments, 1, "compaction merges to one segment");
+    println!(
+        "mutation: inserted id {new_id}, deleted id {victim}, compaction sealed {} / dropped {} -> {} live in {} segment(s), generation {}",
+        report.sealed_from_write,
+        report.dropped_tombstones,
+        report.live,
+        stats.sealed_segments,
+        report.generation
+    );
 
     // 3. Deploy: the generated accelerator becomes an online backend behind
     //    the dynamic-batching engine, with a 2 ms end-to-end SLO and a

@@ -1,0 +1,279 @@
+//! Concurrent mutation-under-traffic stress test for the segmented mutable
+//! serving path (see `docs/MUTATION.md`).
+//!
+//! A [`QueryEngine`] serves Zipf(1.0)-skewed traffic out of a
+//! [`MutableBackend`] while a mutator thread streams inserts and deletes
+//! through the [`SearchBackend`] mutation hooks and a background
+//! [`Compactor`] (plus explicit phase-boundary compactions) churns the
+//! segment set underneath. Assertions, per phase:
+//!
+//! * **No resurrection** — no reply ever contains an id whose delete
+//!   committed before the traffic wave began. Because every delete and
+//!   every compaction swap advances the result-cache generation (and
+//!   stale-generation inserts are discarded), this simultaneously proves no
+//!   query was answered from a stale cache generation.
+//! * **No torn segment set** — a full-probe search with `k ≥ live` returns
+//!   exactly the live id set: a torn segment view (half-swapped sealed set,
+//!   lost write segment, bitmap mismatch) would drop or duplicate ids.
+//! * **Recall never regresses** — recall@10 of the served index against
+//!   brute-force ground truth over the *current* live set stays within 0.05
+//!   of the pre-mutation baseline at every phase checkpoint.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fanns_dataset::synth::SyntheticSpec;
+use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
+use fanns_ivf::params::IvfPqParams;
+use fanns_ivf::segmented::{SegmentedConfig, SegmentedIndex};
+use fanns_quantize::distance::l2_sq;
+use fanns_serve::loadgen::ZipfSampler;
+use fanns_serve::{
+    BatchPolicy, Compactor, EngineConfig, MutableBackend, QueryEngine, QueryResultCache,
+    QueryStatus, ResultCacheConfig, SearchBackend,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const NLIST: usize = 16;
+const K: usize = 10;
+const PHASES: usize = 4;
+const WAVE_QUERIES: usize = 160;
+const RECALL_PROBES: usize = 32;
+const RECALL_TOLERANCE: f64 = 0.05;
+/// Mutations per phase (bounded so the live set churns by a realistic
+/// fraction per wave instead of being swamped by the mutator).
+const PHASE_OPS: usize = 320;
+
+/// Brute-force top-K ids over the live vector map (ties broken by id,
+/// matching `TopK::into_sorted`).
+fn brute_topk(live: &HashMap<u32, Vec<f32>>, query: &[f32], k: usize) -> Vec<u32> {
+    let mut scored: Vec<(f32, u32)> = live.iter().map(|(&id, v)| (l2_sq(query, v), id)).collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().take(k).map(|(_, id)| id).collect()
+}
+
+/// Mean recall@K of the served index against brute force over `live`.
+fn served_recall(
+    index: &SegmentedIndex,
+    live: &HashMap<u32, Vec<f32>>,
+    probes: &[Vec<f32>],
+) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for q in probes {
+        let truth: HashSet<u32> = brute_topk(live, q, K).into_iter().collect();
+        let got = index.search(q, K, NLIST);
+        hit += got.iter().filter(|r| truth.contains(&r.id)).count();
+        total += truth.len();
+    }
+    hit as f64 / total.max(1) as f64
+}
+
+#[test]
+fn mutation_under_zipf_traffic_preserves_every_invariant() {
+    let (db, queries) = SyntheticSpec::sift_small(607).generate();
+    let index = IvfPqIndex::build(
+        &db,
+        &IvfPqTrainConfig::new(NLIST)
+            .with_m(16)
+            .with_ksub(64)
+            .with_train_sample(1_000)
+            .with_seed(607),
+    );
+    let segmented = Arc::new(SegmentedIndex::new(
+        index,
+        SegmentedConfig::default()
+            .with_seal_threshold(128)
+            .with_tombstone_ratio(0.15),
+    ));
+    let params = IvfPqParams::new(NLIST, NLIST, K).with_m(16);
+    let cache = Arc::new(QueryResultCache::new(ResultCacheConfig::new(256)));
+    let backend = Arc::new(
+        MutableBackend::new(Arc::clone(&segmented), params).with_result_cache(Arc::clone(&cache)),
+    );
+    let engine = QueryEngine::start_with_cache(
+        Arc::new(Arc::clone(&backend)),
+        EngineConfig::new(BatchPolicy::new(16, Duration::from_micros(300))).with_workers(4),
+        Some(Arc::clone(&cache)),
+    );
+    let compactor = Compactor::start(Arc::clone(&backend), Duration::from_millis(2));
+
+    // Fresh vectors for the mutator, drawn from the same synthetic
+    // distribution as the database but a different seed (no duplicates).
+    let (insert_pool, _) = SyntheticSpec::sift_small(608)
+        .with_vectors(PHASES * PHASE_OPS)
+        .with_queries(1)
+        .generate();
+
+    // The reference vector store: every live id's exact vector.
+    let mut live: HashMap<u32, Vec<f32>> = (0..db.len())
+        .map(|i| (i as u32, db.get(i).to_vec()))
+        .collect();
+    let probes: Vec<Vec<f32>> = (0..RECALL_PROBES)
+        .map(|i| queries.get(i).to_vec())
+        .collect();
+    let baseline_recall = served_recall(&segmented, &live, &probes);
+    // Synthetic data is PQ-bound (see ROADMAP): the absolute level is not
+    // the point here, the per-phase regression bound below is.
+    assert!(
+        baseline_recall > 0.4,
+        "pre-mutation baseline recall implausibly low: {baseline_recall}"
+    );
+
+    // Ids whose deletion committed before the current traffic wave; replies
+    // during the wave must never contain any of them.
+    let mut committed_deletes: HashSet<u32> = HashSet::new();
+    let sampler = ZipfSampler::new(queries.len(), 1.0, 0xF00D);
+    let mut traffic_rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+    let start_generation = cache.generation();
+
+    for phase in 0..PHASES {
+        // Mutator thread: streams inserts (fresh vectors from the same
+        // synthetic distribution — no exact duplicates, so ADC stays
+        // discriminative) and deletes through the backend's mutation hooks
+        // while the wave is served.
+        let wave_done = Arc::new(AtomicBool::new(false));
+        let mutator = {
+            let backend = Arc::clone(&backend);
+            let fresh: Vec<Vec<f32>> = {
+                let start = phase * PHASE_OPS;
+                (start..start + PHASE_OPS)
+                    .map(|i| insert_pool.get(i).to_vec())
+                    .collect()
+            };
+            let candidate_ids: Vec<u32> = live.keys().copied().collect();
+            let wave_done = Arc::clone(&wave_done);
+            std::thread::spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(0x5EED + phase as u64);
+                let mut inserted: Vec<(u32, Vec<f32>)> = Vec::new();
+                let mut deleted: Vec<u32> = Vec::new();
+                let mut next_fresh = 0usize;
+                let mut ops = 0usize;
+                while !wave_done.load(Ordering::Acquire) && ops < PHASE_OPS {
+                    for _ in 0..8 {
+                        if ops >= PHASE_OPS {
+                            break;
+                        }
+                        ops += 1;
+                        if rng.gen_range(0..100) < 60 && next_fresh < fresh.len() {
+                            let v = fresh[next_fresh].clone();
+                            next_fresh += 1;
+                            let id = backend.insert(&v).expect("mutable backend inserts");
+                            inserted.push((id, v));
+                        } else if !candidate_ids.is_empty() {
+                            let id = candidate_ids[rng.gen_range(0..candidate_ids.len())];
+                            if backend.delete(id) {
+                                deleted.push(id);
+                            }
+                        }
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                (inserted, deleted)
+            })
+        };
+
+        // The traffic wave, concurrent with the mutator and the compactor.
+        for w in 0..WAVE_QUERIES {
+            let q = queries.get(sampler.sample(&mut traffic_rng)).to_vec();
+            let ticket = match engine.submit(q) {
+                Ok(t) => t,
+                Err(_) => continue, // bounded queue full: backpressure, not a failure
+            };
+            let reply = ticket.wait().expect("reply delivered");
+            match reply.status {
+                QueryStatus::Completed => {
+                    assert!(
+                        reply.results.len() <= K,
+                        "phase {phase} wave {w}: more than K results"
+                    );
+                    for r in &reply.results {
+                        assert!(
+                            !committed_deletes.contains(&r.id),
+                            "phase {phase} wave {w}: deleted id {} resurfaced \
+                             (stale cache generation or tombstone leak)",
+                            r.id
+                        );
+                    }
+                }
+                QueryStatus::Shed | QueryStatus::Failed => {}
+            }
+        }
+        wave_done.store(true, Ordering::Release);
+        let (inserted, deleted) = mutator.join().expect("mutator thread");
+        assert!(
+            !inserted.is_empty(),
+            "phase {phase}: mutator never got an insert through"
+        );
+
+        // Commit the phase's mutations into the reference model.
+        for (id, v) in inserted {
+            live.insert(id, v);
+        }
+        for id in deleted {
+            live.remove(&id);
+            committed_deletes.insert(id);
+        }
+
+        // Phase boundary: force a compaction so every phase exercises at
+        // least one seal + merge + swap (the background compactor may have
+        // already run others mid-wave — both count).
+        backend.compact();
+
+        // Structural coherence: a full-probe search with k >= live returns
+        // exactly the live id set — a torn segment view could not.
+        assert_eq!(
+            segmented.live(),
+            live.len(),
+            "phase {phase}: live count diverged from the model"
+        );
+        let check_q = queries.get(phase % queries.len());
+        let full = segmented.search(check_q, live.len() + 8, NLIST);
+        let returned: HashSet<u32> = full.iter().map(|r| r.id).collect();
+        assert_eq!(returned.len(), full.len(), "phase {phase}: duplicate id");
+        let expected: HashSet<u32> = live.keys().copied().collect();
+        assert_eq!(
+            returned, expected,
+            "phase {phase}: torn or stale segment set"
+        );
+
+        // Recall checkpoint against the current live set.
+        let recall = served_recall(&segmented, &live, &probes);
+        assert!(
+            recall >= baseline_recall - RECALL_TOLERANCE,
+            "phase {phase}: recall regressed {baseline_recall:.3} -> {recall:.3}"
+        );
+    }
+
+    // Mutations and compactions must have advanced the cache generation.
+    assert!(
+        cache.generation() > start_generation,
+        "cache generation never advanced despite mutations and compactions"
+    );
+
+    // Quiesced double-submit: the repopulated cache serves exactly what the
+    // post-mutation index computes (no stale entries survived).
+    let q = queries.get(0).to_vec();
+    let first = engine.submit(q.clone()).unwrap().wait().unwrap();
+    let second = engine.submit(q.clone()).unwrap().wait().unwrap();
+    assert_eq!(first.status, QueryStatus::Completed);
+    assert_eq!(second.status, QueryStatus::Completed);
+    assert_eq!(first.results, second.results);
+    let direct = backend.search_batch(&[&q]);
+    assert_eq!(first.results, direct[0].results);
+
+    let background_compactions = compactor.stop();
+    let stats = segmented.stats();
+    assert!(
+        stats.compactions >= PHASES as u64,
+        "expected at least one compaction per phase, saw {}",
+        stats.compactions
+    );
+    // The compactor may or may not have fired between phase boundaries;
+    // its count is bounded by the total.
+    assert!(background_compactions <= stats.compactions);
+    engine.shutdown();
+}

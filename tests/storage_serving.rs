@@ -10,11 +10,12 @@ use fanns_dataset::types::QuerySet;
 use fanns_ivf::index::{IvfPqIndex, IvfPqTrainConfig};
 use fanns_ivf::params::IvfPqParams;
 use fanns_ivf::search::{search, SearchResult};
+use fanns_ivf::segmented::{SegmentedConfig, SegmentedIndex};
 use fanns_ivf::storage::open_index;
 use fanns_ivf::{CpuSearcher, MappedIndex};
 use fanns_serve::loadgen::ZipfSampler;
 use fanns_serve::{
-    open_mapped_backend, BatchPolicy, EngineConfig, QueryEngine, QueryResultCache,
+    open_mapped_backend, BatchPolicy, EngineConfig, MutableBackend, QueryEngine, QueryResultCache,
     ResultCacheConfig, SearchBackend, Stage, TelemetryConfig, TelemetryRegistry, Ticket,
 };
 use rand::SeedableRng;
@@ -197,4 +198,76 @@ fn cache_generation_invalidates_on_index_swap() {
             "query {q}: post-swap cache serves stale or wrong results"
         );
     }
+}
+
+/// The segment-swap variant of the cache-invalidation contract: a mutable
+/// backend built over a `mmap`-backed sealed segment must advance the result
+/// cache's generation on every *non-skipped* compaction swap — and only
+/// then — so entries cached against the pre-swap segment set can neither
+/// hit nor repopulate.
+#[test]
+fn cache_generation_invalidates_on_every_compaction_swap() {
+    let (_, queries, mapped) = build_and_map(905, 16, "segment-swap");
+    let params = IvfPqParams::new(16, 16, 10).with_m(16);
+    let segmented = Arc::new(SegmentedIndex::from_mapped(
+        Arc::new(mapped),
+        SegmentedConfig::default(),
+    ));
+    let cache = Arc::new(QueryResultCache::new(ResultCacheConfig::new(128)));
+    let backend =
+        MutableBackend::new(Arc::clone(&segmented), params).with_result_cache(Arc::clone(&cache));
+
+    // Warm the cache against the initial (purely mapped) segment set.
+    for q in 0..8 {
+        let query = queries.get(q);
+        let key = cache.key(query);
+        cache.insert(&key, backend.search_batch(&[query])[0].results.clone());
+    }
+    assert_eq!(cache.len(), 8);
+    let g0 = cache.generation();
+
+    // A compaction with nothing to do must NOT invalidate: the segment set
+    // did not change, so cached entries stay valid.
+    let report = backend.compact();
+    assert!(report.skipped, "single sealed segment, no churn: skip");
+    assert_eq!(cache.generation(), g0, "skipped compaction must not bump");
+    assert!(cache.lookup(queries.get(0)).is_some());
+
+    // Mutate, then compact repeatedly: every swap bumps the generation
+    // exactly once, and the index generation moves in lockstep.
+    let mut cache_gen = g0;
+    for round in 0..3 {
+        let id = backend.insert(queries.get(round)).expect("insert");
+        let after_insert = cache.generation();
+        assert!(after_insert > cache_gen, "round {round}: insert must bump");
+        let idx_gen = segmented.generation();
+        let report = backend.compact();
+        assert!(!report.skipped, "round {round}: swap expected");
+        assert_eq!(
+            segmented.generation(),
+            idx_gen + 1,
+            "round {round}: compaction must advance the index generation"
+        );
+        assert!(
+            cache.generation() > after_insert,
+            "round {round}: compaction swap must invalidate the cache"
+        );
+        for q in 0..8 {
+            assert!(
+                cache.lookup(queries.get(q)).is_none(),
+                "round {round}: query {q} survived the segment swap"
+            );
+        }
+        // Tombstone the inserted id so the next round's compaction also has
+        // reclaim work, covering the delete-triggered swap path too.
+        assert!(backend.delete(id));
+        cache_gen = cache.generation();
+    }
+
+    // Repopulated entries reflect the post-swap segment set.
+    let query = queries.get(0);
+    let fresh = backend.search_batch(&[query])[0].results.clone();
+    let key = cache.key(query);
+    cache.insert(&key, fresh.clone());
+    assert_eq!(cache.lookup(query), Some(fresh));
 }
